@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Figure 11: speedup from vertical computation sharing
+ * (k-GraphPi, 4-CC and 5-CC, with vs. without reusing the parent's
+ * intersection results).
+ *
+ * Expected shape (paper): ~2.1x average speedup (up to 4.4x),
+ * small on Patents where extensions are too light to matter.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace khuzdul;
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 11: speedup by vertical computation sharing",
+                  "Fig 11 (k-GraphPi, 8 nodes)");
+
+    bench::TablePrinter table(
+        {"App", "Graph", "with VCS", "without VCS", "speedup",
+         "reused results"},
+        {5, 5, 10, 11, 8, 14});
+    table.printHeader();
+
+    double product = 1;
+    int rows = 0;
+    for (const std::string app_name : {"4-CC", "5-CC"}) {
+        const bench::App app = bench::appByName(app_name);
+        for (const std::string graph_name : {"mc", "pt", "lj", "fr"}) {
+            const auto &dataset = datasets::byName(graph_name);
+
+            auto system = engines::KhuzdulSystem::kGraphPi(
+                dataset.graph, bench::standInEngineConfig(8));
+
+            system->resetStats();
+            PlanOptions with_vcs;
+            Count count = 0;
+            for (const Pattern &p : app.patterns)
+                count += system->count(p, with_vcs);
+            const double with_ns = system->stats().makespanNs();
+            std::uint64_t reuses = 0;
+            for (const auto &node : system->stats().nodes)
+                reuses += node.verticalReuses;
+
+            system->resetStats();
+            PlanOptions without_vcs;
+            without_vcs.verticalSharing = false;
+            Count count2 = 0;
+            for (const Pattern &p : app.patterns)
+                count2 += system->count(p, without_vcs);
+            const double without_ns = system->stats().makespanNs();
+            KHUZDUL_CHECK(count == count2, "VCS changed counts");
+
+            const double speedup = without_ns / with_ns;
+            product *= speedup;
+            ++rows;
+            table.printRow({app_name, graph_name,
+                            bench::fmtTime(with_ns),
+                            bench::fmtTime(without_ns),
+                            formatRatio(speedup), formatCount(reuses)});
+        }
+        table.printRule();
+    }
+    std::printf("\nGeometric-mean speedup: %s (paper: 2.10x average, "
+                "up to 4.44x; weakest on pt)\n",
+                formatRatio(std::pow(product, 1.0 / rows)).c_str());
+    return 0;
+}

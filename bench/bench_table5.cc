@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Regenerates Table 5: Khuzdul on massive graphs (cl, uk14, wdc
+ * stand-ins) with the 18-node cluster, TC and 4-CC, orientation
+ * preprocessing enabled for both systems like the paper.
+ *
+ * Expected shape (paper): the graphs exceed one node's memory, so
+ * replication-based systems cannot run at all; k-Automine on 18
+ * nodes beats the big single machine (AutomineIH on a 64-core,
+ * 1 TB host) by 2-4.5x through cluster-wide parallelism.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "engines/graphpi_rep.hh"
+#include "engines/single_machine.hh"
+#include "graph/orientation.hh"
+
+namespace
+{
+
+using namespace khuzdul;
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 5: performance on large-scale graphs",
+                  "Table 5 (18 nodes; orientation preprocessing; "
+                  "replication-based systems out of memory)");
+
+    bench::TablePrinter table(
+        {"Graph", "App", "k-Automine(18n)", "AutomineIH(big)",
+         "GraphPi(rep)", "speedup", "embeddings"},
+        {5, 5, 15, 15, 12, 8, 18});
+    table.printHeader();
+
+    for (const std::string graph_name : {"cl", "uk14", "wdc"}) {
+        const auto &dataset = datasets::byName(graph_name);
+        // Orientation is a preprocessing step shared by both
+        // systems (§7.2): it turns clique counting into DAG
+        // counting with no symmetry breaking needed.
+        const Graph dag = graph::orient(dataset.graph);
+
+        for (const std::string app_name : {"TC", "4-CC"}) {
+            const int k = app_name == "TC" ? 3 : 4;
+
+            // k-Automine on the 18-node cluster, counting on the
+            // DAG (divisor 1, no restrictions).
+            core::EngineConfig config = bench::standInEngineConfig(18);
+            config.cluster = sim::ClusterConfig::largeCluster(18);
+            // Massive graphs get a smaller relative cache (§7.6:
+            // 3-4% for WDC12-scale data).
+            config.cacheFraction = graph_name == "wdc" ? 0.04 : 0.08;
+            core::Engine engine(dag, config);
+            PlanOptions options;
+            options.symmetryBreaking = false;
+            options.useIep = false;
+            ExtendPlan plan = compileAutomine(Pattern::clique(k),
+                                              options);
+            plan.countDivisor = 1;
+            const Count count = engine.run(plan);
+            const double khuzdul_ns = engine.stats().makespanNs();
+
+            // AutomineIH on the paper's big 64-core machine.
+            engines::SingleMachineConfig big;
+            big.cores = 64;
+            big.memoryBytes = 1ull << 40;
+            engines::SingleMachineEngine automine(
+                dataset.graph,
+                engines::SingleMachineStyle::PangolinLike, big);
+            const auto single = automine.count(Pattern::clique(k));
+            KHUZDUL_CHECK(single.count == count, "count mismatch");
+
+            // Replicated GraphPi: per-node memory scaled with the
+            // stand-ins (64 GB for ~10 GB graphs -> the massive
+            // stand-ins exceed it by the same ratio).
+            std::string rep_cell;
+            engines::GraphPiRepConfig rep_config;
+            rep_config.cluster = sim::ClusterConfig::largeCluster(18);
+            rep_config.cluster.memoryBytesPerNode =
+                dataset.graph.sizeBytes() / 2; // mirrors the paper's
+                                               // does-not-fit ratio
+            engines::GraphPiRepEngine rep(dataset.graph, rep_config);
+            try {
+                rep.count(Pattern::clique(k));
+                rep_cell = "ran?";
+            } catch (const FatalError &) {
+                rep_cell = "OOM";
+            }
+
+            table.printRow(
+                {graph_name, app_name, bench::fmtTime(khuzdul_ns),
+                 bench::fmtTime(single.runtimeNs), rep_cell,
+                 formatRatio(single.runtimeNs / khuzdul_ns),
+                 formatCount(count)});
+        }
+        table.printRule();
+    }
+    std::printf("\nExpected shape: replication is impossible (OOM); "
+                "k-Automine beats the big single machine ~2-4.5x "
+                "(paper: 3.2x average).\n");
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the engine's hot primitives:
+ * sorted-list intersection kernels, the horizontal dedup table,
+ * chunk arena append/reset, cache probes and plan compilation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/cache.hh"
+#include "core/chunk.hh"
+#include "core/horizontal.hh"
+#include "core/intersect.hh"
+#include "graph/generators.hh"
+#include "pattern/planner.hh"
+#include "support/rng.hh"
+
+namespace
+{
+
+using namespace khuzdul;
+
+std::vector<VertexId>
+sortedRandomList(std::size_t size, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<VertexId> list(size);
+    for (auto &v : list)
+        v = static_cast<VertexId>(rng.nextBounded(1 << 20));
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    return list;
+}
+
+void
+BM_IntersectPair(benchmark::State &state)
+{
+    const auto a = sortedRandomList(state.range(0), 1);
+    const auto b = sortedRandomList(state.range(0), 2);
+    std::vector<VertexId> out;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::intersectInto(a, b, out));
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectPair)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_IntersectCount(benchmark::State &state)
+{
+    const auto a = sortedRandomList(state.range(0), 3);
+    const auto b = sortedRandomList(state.range(0), 4);
+    for (auto _ : state) {
+        Count count = 0;
+        benchmark::DoNotOptimize(core::intersectCount(a, b, count));
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectCount)->Arg(1024)->Arg(16384);
+
+void
+BM_IntersectMany(benchmark::State &state)
+{
+    std::vector<std::vector<VertexId>> lists;
+    for (int i = 0; i < state.range(0); ++i)
+        lists.push_back(sortedRandomList(4096, 10 + i));
+    std::vector<std::span<const VertexId>> spans(lists.begin(),
+                                                 lists.end());
+    std::vector<VertexId> out;
+    std::vector<VertexId> scratch;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::intersectMany({spans.data(), spans.size()}, out,
+                                scratch));
+    }
+}
+BENCHMARK(BM_IntersectMany)->Arg(2)->Arg(4)->Arg(6);
+
+void
+BM_HorizontalTable(benchmark::State &state)
+{
+    core::HorizontalTable table(1 << 15);
+    Rng rng(7);
+    std::vector<VertexId> vertices(4096);
+    for (auto &v : vertices)
+        v = static_cast<VertexId>(rng.nextBounded(1 << 16));
+    for (auto _ : state) {
+        table.clear();
+        for (const VertexId v : vertices)
+            benchmark::DoNotOptimize(table.offer(v));
+    }
+    state.SetItemsProcessed(state.iterations() * vertices.size());
+}
+BENCHMARK(BM_HorizontalTable);
+
+void
+BM_ChunkAppendReset(benchmark::State &state)
+{
+    core::Chunk chunk(64 << 20);
+    for (auto _ : state) {
+        for (std::uint32_t i = 0; i < 4096; ++i)
+            chunk.add(i, i / 8, true);
+        chunk.reset();
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ChunkAppendReset);
+
+void
+BM_StaticCacheProbe(benchmark::State &state)
+{
+    const Graph g = gen::rmat(4096, 32768, 0.55, 0.2, 0.2, 5);
+    core::DataCache cache(g, core::CachePolicy::Static,
+                          g.sizeBytes() / 4, 16);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        cache.insert(v);
+    Rng rng(9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()))));
+    }
+}
+BENCHMARK(BM_StaticCacheProbe);
+
+void
+BM_LruCacheProbe(benchmark::State &state)
+{
+    const Graph g = gen::rmat(4096, 32768, 0.55, 0.2, 0.2, 5);
+    core::DataCache cache(g, core::CachePolicy::Lru,
+                          g.sizeBytes() / 4, 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        cache.insert(v);
+    Rng rng(9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()))));
+    }
+}
+BENCHMARK(BM_LruCacheProbe);
+
+void
+BM_CompilePlanAutomine(benchmark::State &state)
+{
+    const Pattern p = Pattern::clique(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compileAutomine(p, {}));
+}
+BENCHMARK(BM_CompilePlanAutomine);
+
+void
+BM_CompilePlanGraphPi(benchmark::State &state)
+{
+    const Pattern p = Pattern::clique(4);
+    const GraphProfile profile{100000.0, 20.0};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compileGraphPi(p, profile, {}));
+}
+BENCHMARK(BM_CompilePlanGraphPi);
+
+} // namespace
+
+BENCHMARK_MAIN();

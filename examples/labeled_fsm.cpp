@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Frequent subgraph mining on a labeled graph — the FSM workload of
+ * §7.1, in the style of mining recurring interaction patterns from
+ * a typed network (e.g. protein-interaction or transaction graphs).
+ *
+ * Labels model vertex types; the miner reports every labeled
+ * pattern with at most 3 edges whose MNI support clears the
+ * threshold.
+ */
+
+#include <cstdio>
+
+#include "apps/fsm.hh"
+#include "engines/khuzdul_system.hh"
+#include "graph/generators.hh"
+#include "support/format.hh"
+
+int
+main()
+{
+    using namespace khuzdul;
+
+    // A typed network: 4 vertex types over a clustered topology.
+    Graph graph = gen::smallWorld(12'000, 5, 0.15, /*seed=*/3);
+    gen::randomizeLabels(graph, 4, /*seed=*/17);
+
+    core::EngineConfig config;
+    config.cluster = sim::ClusterConfig::paperDefault(8);
+    auto system = engines::KhuzdulSystem::kAutomine(graph, config);
+    apps::KhuzdulFsmBackend backend(*system);
+
+    apps::FsmConfig fsm;
+    fsm.minSupport = 2'000;
+    fsm.maxEdges = 3;
+    const auto result =
+        apps::mineFrequentSubgraphs(backend, graph, fsm);
+
+    std::printf("evaluated %s candidate patterns; %zu are frequent "
+                "(MNI support >= %s)\n\n",
+                formatCount(result.patternsEvaluated).c_str(),
+                result.frequent.size(),
+                formatCount(fsm.minSupport).c_str());
+    std::printf("%-34s %12s\n", "pattern (labels in braces)",
+                "support");
+    for (const auto &fp : result.frequent)
+        std::printf("%-34s %12s\n", fp.pattern.toString().c_str(),
+                    formatCount(fp.support).c_str());
+
+    std::printf("\nmodeled cluster time: %s (includes one engine "
+                "startup per candidate pattern — the FSM overhead "
+                "the paper discusses in §7.2)\n",
+                formatTime(static_cast<std::uint64_t>(
+                    system->stats().makespanNs())).c_str());
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Motif census of a social-network-like graph — the classic network
+ * analysis workload the paper's introduction motivates (attack
+ * detection, biology, software architecture all profile networks by
+ * their motif spectra).
+ *
+ * Counts the induced embeddings of every connected 3- and 4-vertex
+ * pattern and prints the census with per-motif shares.
+ */
+
+#include <cstdio>
+
+#include "apps/gpm_apps.hh"
+#include "engines/khuzdul_system.hh"
+#include "graph/generators.hh"
+#include "support/format.hh"
+
+int
+main()
+{
+    using namespace khuzdul;
+
+    // A skewed "social network": heavy-tailed, clustered enough to
+    // have interesting motif structure.
+    const Graph graph = gen::rmat(8'000, 70'000, 0.57, 0.19, 0.19,
+                                  /*seed=*/7);
+
+    core::EngineConfig config;
+    config.cluster = sim::ClusterConfig::paperDefault(4);
+    auto system = engines::KhuzdulSystem::kAutomine(graph, config);
+
+    for (const int k : {3, 4}) {
+        const auto census = apps::motifCount(*system, k);
+        Count total = 0;
+        for (const auto &motif : census)
+            total += motif.count;
+        std::printf("\n=== size-%d motif census (%zu motifs, %s "
+                    "induced embeddings) ===\n",
+                    k, census.size(), formatCount(total).c_str());
+        for (const auto &motif : census) {
+            const double share = total == 0 ? 0.0
+                : static_cast<double>(motif.count)
+                    / static_cast<double>(total);
+            std::printf("  %-28s %16s  (%s)\n",
+                        motif.pattern.toString().c_str(),
+                        formatCount(motif.count).c_str(),
+                        formatPercent(share).c_str());
+        }
+    }
+
+    std::printf("\nmodeled cluster time: %s\n",
+                formatTime(static_cast<std::uint64_t>(
+                    system->stats().makespanNs())).c_str());
+    return 0;
+}

@@ -1,0 +1,39 @@
+#include "apps/gpm_apps.hh"
+
+#include "pattern/generation.hh"
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace apps
+{
+
+Count
+triangleCount(engines::KhuzdulSystem &system)
+{
+    return system.count(Pattern::triangle());
+}
+
+Count
+cliqueCount(engines::KhuzdulSystem &system, int k)
+{
+    KHUZDUL_REQUIRE(k >= 2 && k <= kMaxPatternSize,
+                    "clique size must be in [2, " << kMaxPatternSize
+                    << "]");
+    return system.count(Pattern::clique(k));
+}
+
+std::vector<MotifCount>
+motifCount(engines::KhuzdulSystem &system, int k)
+{
+    KHUZDUL_REQUIRE(k >= 3 && k <= 5, "motif census supports k in [3, 5]");
+    PlanOptions options;
+    options.induced = true;
+    std::vector<MotifCount> result;
+    for (const Pattern &p : gen::connectedPatterns(k))
+        result.push_back({p, system.count(p, options)});
+    return result;
+}
+
+} // namespace apps
+} // namespace khuzdul

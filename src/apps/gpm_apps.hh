@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The paper's four GPM application categories (§7.1): Triangle
+ * Counting (TC), k-Clique Counting (k-CC), k-Motif Counting (k-MC)
+ * and Frequent Subgraph Mining (FSM, see apps/fsm.hh).  These are
+ * thin front-ends over a Khuzdul system: the application picks the
+ * patterns, the client compiler and engine do the rest.
+ */
+
+#ifndef KHUZDUL_APPS_GPM_APPS_HH
+#define KHUZDUL_APPS_GPM_APPS_HH
+
+#include <vector>
+
+#include "engines/khuzdul_system.hh"
+#include "pattern/pattern.hh"
+
+namespace khuzdul
+{
+namespace apps
+{
+
+/** Count triangles. */
+Count triangleCount(engines::KhuzdulSystem &system);
+
+/** Count k-cliques (complete subgraphs on k vertices). */
+Count cliqueCount(engines::KhuzdulSystem &system, int k);
+
+/** One motif of the k-motif census. */
+struct MotifCount
+{
+    Pattern pattern;
+    Count count = 0;
+};
+
+/**
+ * k-Motif counting: the number of *induced* embeddings of every
+ * connected size-k pattern (2 motifs for k=3, 6 for k=4).
+ */
+std::vector<MotifCount> motifCount(engines::KhuzdulSystem &system,
+                                   int k);
+
+} // namespace apps
+} // namespace khuzdul
+
+#endif // KHUZDUL_APPS_GPM_APPS_HH

@@ -1,0 +1,109 @@
+#include "core/cache.hh"
+
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+std::string
+cachePolicyName(CachePolicy policy)
+{
+    switch (policy) {
+      case CachePolicy::None:
+        return "NONE";
+      case CachePolicy::Static:
+        return "STATIC";
+      case CachePolicy::Fifo:
+        return "FIFO";
+      case CachePolicy::Lifo:
+        return "LIFO";
+      case CachePolicy::Lru:
+        return "LRU";
+      case CachePolicy::Mru:
+        return "MRU";
+    }
+    KHUZDUL_PANIC("unreachable cache policy");
+}
+
+DataCache::DataCache(const Graph &g, CachePolicy policy,
+                     std::uint64_t capacity_bytes, EdgeId degree_threshold)
+    : graph_(&g), policy_(policy), capacityBytes_(capacity_bytes),
+      degreeThreshold_(degree_threshold)
+{
+    if (capacityBytes_ == 0)
+        policy_ = CachePolicy::None;
+}
+
+bool
+DataCache::lookup(VertexId v)
+{
+    if (policy_ == CachePolicy::None) {
+        ++misses_;
+        return false;
+    }
+    auto it = entries_.find(v);
+    if (it == entries_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    if (policy_ == CachePolicy::Lru || policy_ == CachePolicy::Mru) {
+        // Recency update: move to the back (most recent).
+        order_.splice(order_.end(), order_, it->second);
+    }
+    return true;
+}
+
+bool
+DataCache::insert(VertexId v)
+{
+    if (policy_ == CachePolicy::None || entries_.contains(v))
+        return false;
+    const std::uint64_t bytes = graph_->edgeListBytes(v);
+    if (bytes > capacityBytes_)
+        return false;
+
+    if (policy_ == CachePolicy::Static) {
+        // §5.3: admit hot vertices only, and once the cache fills it
+        // is frozen forever — no eviction, no further bookkeeping.
+        if (fullForever_ || graph_->degree(v) < degreeThreshold_)
+            return false;
+        if (usedBytes_ + bytes > capacityBytes_) {
+            fullForever_ = true;
+            return false;
+        }
+    } else {
+        while (usedBytes_ + bytes > capacityBytes_)
+            evictOne();
+    }
+
+    order_.push_back(v);
+    entries_.emplace(v, std::prev(order_.end()));
+    usedBytes_ += bytes;
+    ++insertions_;
+    return true;
+}
+
+void
+DataCache::evictOne()
+{
+    KHUZDUL_CHECK(!order_.empty(), "evicting from an empty cache");
+    // order_ is maintained in insertion order (FIFO/LIFO) or
+    // recency order with back = most recent (LRU/MRU).
+    VertexId victim;
+    if (policy_ == CachePolicy::Fifo || policy_ == CachePolicy::Lru) {
+        victim = order_.front();
+        order_.pop_front();
+    } else {
+        victim = order_.back();
+        order_.pop_back();
+    }
+    entries_.erase(victim);
+    usedBytes_ -= graph_->edgeListBytes(victim);
+    ++evictions_;
+}
+
+} // namespace core
+} // namespace khuzdul

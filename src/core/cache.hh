@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Software graph-data caches.  The engine's default is the paper's
+ * static no-replacement cache (§5.3): first-accessed-first-cached
+ * with a degree threshold, never evicting — near-zero bookkeeping.
+ * The replacement policies of the Fig 16 ablation (FIFO / LIFO /
+ * LRU / MRU) are implemented too; they track recency/insertion
+ * order and are charged their (much larger) maintenance costs by
+ * the engine.
+ */
+
+#ifndef KHUZDUL_CORE_CACHE_HH
+#define KHUZDUL_CORE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+/** Cache management policy (Fig 16). */
+enum class CachePolicy
+{
+    None,   ///< caching disabled (Table 6 "no cache")
+    Static, ///< no replacement (the paper's design, §5.3)
+    Fifo,
+    Lifo,
+    Lru,
+    Mru,
+};
+
+/** Parse/print policy names for bench tables. */
+std::string cachePolicyName(CachePolicy policy);
+
+/**
+ * Tracks which remote edge lists are notionally resident on one
+ * execution unit.  Data reads stay zero-copy against the shared
+ * graph; the cache only decides whether a fetch produces network
+ * traffic.  Counters for hits/misses/insertions are maintained
+ * here; time costs are charged by the engine via the cost model.
+ */
+class DataCache
+{
+  public:
+    /**
+     * @param g graph (for per-vertex sizes).
+     * @param policy management policy.
+     * @param capacity_bytes byte budget (0 disables).
+     * @param degree_threshold Static policy only: minimum degree to
+     *        admit (the paper's hot-vertex filter, default 64).
+     */
+    DataCache(const Graph &g, CachePolicy policy,
+              std::uint64_t capacity_bytes, EdgeId degree_threshold);
+
+    CachePolicy policy() const { return policy_; }
+
+    /**
+     * Whether N(v) is cached.  Replacement policies also update
+     * their recency metadata (that is what makes them expensive).
+     */
+    bool lookup(VertexId v);
+
+    /**
+     * Offer a just-fetched list for admission.
+     * @return true when the list was inserted.
+     */
+    bool insert(VertexId v);
+
+    std::uint64_t usedBytes() const { return usedBytes_; }
+    std::uint64_t capacityBytes() const { return capacityBytes_; }
+    bool fullForever() const { return fullForever_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t insertions() const { return insertions_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+    void
+    resetCounters()
+    {
+        hits_ = misses_ = insertions_ = evictions_ = 0;
+    }
+
+  private:
+    void evictOne();
+
+    const Graph *graph_;
+    CachePolicy policy_;
+    std::uint64_t capacityBytes_;
+    EdgeId degreeThreshold_;
+
+    /** Cached vertex -> position in order_ (replacement policies). */
+    std::unordered_map<VertexId, std::list<VertexId>::iterator> entries_;
+    /** Eviction order bookkeeping (front = next victim candidate
+     *  end depends on policy). */
+    std::list<VertexId> order_;
+
+    std::uint64_t usedBytes_ = 0;
+    bool fullForever_ = false;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t insertions_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace core
+} // namespace khuzdul
+
+#endif // KHUZDUL_CORE_CACHE_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The Khuzdul distributed execution engine (§3-§6).
+ *
+ * The engine runs an ExtendPlan — the compiled EXTEND function of a
+ * client GPM system — over a 1-D hash-partitioned graph on a
+ * simulated cluster.  Each (node, socket) execution unit explores
+ * the embedding trees of its owned vertices with the BFS-DFS hybrid
+ * (fixed-budget chunks per level, DFS across chunks, BFS within,
+ * §4.2), fetching remote active edge lists in circulant per-owner
+ * batches that pipeline with computation (§4.3).  Data reuse:
+ * vertical sharing via parent pointers and stored intermediate
+ * results (§5.1), horizontal sharing via the collision-dropping
+ * chunk table (§5.2), and the static no-replacement cache (§5.3).
+ *
+ * Enumeration is performed for real (counts are exact and tested
+ * against brute force); time and traffic are modeled through
+ * sim::CostModel / sim::Fabric so an 18-node cluster reproduces
+ * deterministically on one host core.
+ */
+
+#ifndef KHUZDUL_CORE_ENGINE_HH
+#define KHUZDUL_CORE_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cache.hh"
+#include "core/visitor.hh"
+#include "graph/graph.hh"
+#include "graph/partition.hh"
+#include "pattern/plan.hh"
+#include "sim/cluster.hh"
+#include "sim/cost_model.hh"
+#include "sim/fabric.hh"
+#include "sim/stats.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+/** All engine tunables; defaults mirror the paper's configuration
+ *  scaled to the ~1000x smaller stand-in datasets. */
+struct EngineConfig
+{
+    /** Simulated machines. */
+    sim::ClusterConfig cluster;
+
+    /** Time constants. */
+    sim::CostModel cost;
+
+    /**
+     * Per-level chunk byte budget (§4.2).  The paper defaults to
+     * 4 GB on ~10 GB graphs; scaled stand-ins default to 4 MB.
+     */
+    std::uint64_t chunkBytes = 4ull << 20;
+
+    /** Graph-data cache policy (STATIC is the paper's design). */
+    CachePolicy cachePolicy = CachePolicy::Static;
+
+    /** Cache capacity as a fraction of the graph size, per node. */
+    double cacheFraction = 0.15;
+
+    /** Static-cache admission degree threshold (§5.3). */
+    EdgeId cacheDegreeThreshold = 32;
+
+    /** Horizontal data sharing on/off (Fig 12 ablation). */
+    bool horizontalSharing = true;
+
+    /** Slots of the per-chunk horizontal table. */
+    std::size_t horizontalSlots = 1 << 15;
+
+    /** NUMA-aware sub-partitioning (§5.4, Table 7 ablation). */
+    bool numaAware = true;
+
+    /**
+     * Compute slowdown on multi-socket nodes without NUMA-aware
+     * placement (remote-socket DRAM on ~half the accesses).
+     */
+    double numaComputePenalty = 1.45;
+
+    /** Embeddings per dynamically-dispatched mini-batch (§6). */
+    unsigned miniBatchSize = 64;
+};
+
+/**
+ * The execution engine.  One instance owns the partition, the
+ * fabric ledger, per-unit caches and cumulative statistics; run()
+ * can be invoked repeatedly (e.g. once per motif pattern) and
+ * accumulates stats across runs.
+ */
+class Engine
+{
+  public:
+    Engine(const Graph &g, const EngineConfig &config);
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Count the embeddings of @p plan's pattern. */
+    Count run(const ExtendPlan &plan);
+
+    /**
+     * Enumerate embeddings, passing each to @p visitor (the UDF of
+     * Figure 5).  Requires a plan without IEP and with
+     * countDivisor == 1.
+     */
+    Count run(const ExtendPlan &plan, MatchVisitor *visitor);
+
+    const Graph &graph() const { return *graph_; }
+    const Partition &partition() const { return partition_; }
+    const EngineConfig &config() const { return config_; }
+
+    /** Cumulative statistics (one entry per execution unit). */
+    const sim::RunStats &stats() const { return stats_; }
+
+    /** Fabric ledger (per-link traffic; test fault injection). */
+    sim::Fabric &fabric() { return fabric_; }
+
+    /** Clear statistics and the traffic ledger (caches persist). */
+    void resetStats();
+
+    /** Compute cores available to one execution unit. */
+    unsigned computeCoresPerUnit() const;
+
+  private:
+    friend class UnitRun;
+
+    const Graph *graph_;
+    EngineConfig config_;
+    Partition partition_;
+    sim::Fabric fabric_;
+    sim::RunStats stats_;
+    std::vector<std::unique_ptr<DataCache>> caches_;
+};
+
+} // namespace core
+} // namespace khuzdul
+
+#endif // KHUZDUL_CORE_ENGINE_HH

@@ -1,0 +1,131 @@
+#include "core/intersect.hh"
+
+#include <algorithm>
+
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+WorkItems
+intersectInto(std::span<const VertexId> a, std::span<const VertexId> b,
+              std::vector<VertexId> &out)
+{
+    out.clear();
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (a[i] > b[j]) {
+            ++j;
+        } else {
+            out.push_back(a[i]);
+            ++i;
+            ++j;
+        }
+    }
+    return i + j;
+}
+
+WorkItems
+intersectCount(std::span<const VertexId> a, std::span<const VertexId> b,
+               Count &count)
+{
+    count = 0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (a[i] > b[j]) {
+            ++j;
+        } else {
+            ++count;
+            ++i;
+            ++j;
+        }
+    }
+    return i + j;
+}
+
+WorkItems
+subtractInto(std::span<const VertexId> a, std::span<const VertexId> b,
+             std::vector<VertexId> &out)
+{
+    out.clear();
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size()) {
+        if (j == b.size() || a[i] < b[j]) {
+            out.push_back(a[i]);
+            ++i;
+        } else if (a[i] > b[j]) {
+            ++j;
+        } else {
+            ++i;
+            ++j;
+        }
+    }
+    return i + j;
+}
+
+WorkItems
+intersectMany(std::span<const std::span<const VertexId>> lists,
+              std::vector<VertexId> &out, std::vector<VertexId> &scratch)
+{
+    KHUZDUL_CHECK(!lists.empty() && lists.size() <= 8,
+                  "intersectMany needs 1..8 lists");
+    // Fold smallest-first to keep intermediates tight; a fixed
+    // array keeps this allocation-free (hot path).
+    std::array<std::span<const VertexId>, 8> sorted;
+    std::copy(lists.begin(), lists.end(), sorted.begin());
+    std::sort(sorted.begin(), sorted.begin() + lists.size(),
+              [](const auto &x, const auto &y) {
+                  return x.size() < y.size();
+              });
+    if (lists.size() == 1) {
+        out.assign(sorted[0].begin(), sorted[0].end());
+        return 0;
+    }
+    WorkItems work = intersectInto(sorted[0], sorted[1], out);
+    for (std::size_t k = 2; k < lists.size(); ++k) {
+        if (out.empty())
+            break;
+        scratch.clear();
+        work += intersectInto(out, sorted[k], scratch);
+        out.swap(scratch);
+    }
+    return work;
+}
+
+WorkItems
+intersectManyCount(std::span<const std::span<const VertexId>> lists,
+                   Count &count, std::vector<VertexId> &scratch_a,
+                   std::vector<VertexId> &scratch_b)
+{
+    KHUZDUL_CHECK(!lists.empty(), "intersectManyCount needs >= 1 list");
+    if (lists.size() == 1) {
+        count = lists[0].size();
+        return 0;
+    }
+    if (lists.size() == 2)
+        return intersectCount(lists[0], lists[1], count);
+    WorkItems work = intersectMany(lists.first(lists.size() - 1),
+                                   scratch_a, scratch_b);
+    Count final_count = 0;
+    work += intersectCount(scratch_a, lists.back(), final_count);
+    count = final_count;
+    return work;
+}
+
+bool
+contains(std::span<const VertexId> list, VertexId v)
+{
+    return std::binary_search(list.begin(), list.end(), v);
+}
+
+} // namespace core
+} // namespace khuzdul

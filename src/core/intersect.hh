@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sorted-list set kernels: the computational heart of pattern-aware
+ * enumeration (every extension is an intersection of active edge
+ * lists, §3.1).  All kernels return the number of elements consumed
+ * so callers can charge modeled compute time.
+ */
+
+#ifndef KHUZDUL_CORE_INTERSECT_HH
+#define KHUZDUL_CORE_INTERSECT_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+/** Work units consumed by a kernel (elements touched). */
+using WorkItems = std::uint64_t;
+
+/** out = a ∩ b (out may not alias inputs). */
+WorkItems intersectInto(std::span<const VertexId> a,
+                        std::span<const VertexId> b,
+                        std::vector<VertexId> &out);
+
+/** |a ∩ b| without materializing. */
+WorkItems intersectCount(std::span<const VertexId> a,
+                         std::span<const VertexId> b, Count &count);
+
+/** out = a \ b (sorted difference; induced matching). */
+WorkItems subtractInto(std::span<const VertexId> a,
+                       std::span<const VertexId> b,
+                       std::vector<VertexId> &out);
+
+/**
+ * out = intersection of all @p lists (>= 1).  Lists are folded
+ * smallest-first to keep intermediate results tight.
+ */
+WorkItems intersectMany(std::span<const std::span<const VertexId>> lists,
+                        std::vector<VertexId> &out,
+                        std::vector<VertexId> &scratch);
+
+/**
+ * |intersection of all lists| without materializing the result.
+ * Both scratch buffers are clobbered (allocation-free hot path).
+ */
+WorkItems intersectManyCount(
+    std::span<const std::span<const VertexId>> lists, Count &count,
+    std::vector<VertexId> &scratch_a, std::vector<VertexId> &scratch_b);
+
+/** Whether sorted @p list contains @p v (binary search). */
+bool contains(std::span<const VertexId> list, VertexId v);
+
+} // namespace core
+} // namespace khuzdul
+
+#endif // KHUZDUL_CORE_INTERSECT_HH

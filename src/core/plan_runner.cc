@@ -1,0 +1,254 @@
+#include "core/plan_runner.hh"
+
+#include <array>
+#include <bit>
+#include <vector>
+
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+namespace
+{
+
+/** Recursive interpreter state shared across levels. */
+struct Runner
+{
+    const Graph &g;
+    const ExtendPlan &plan;
+    MatchVisitor *visitor;
+    RunnerHooks *hooks;
+    RunnerResult result;
+
+    /** vertices[i] = graph vertex matched at position i. */
+    std::array<VertexId, kMaxPatternSize> vertices{};
+
+    /** Candidate set each level was drawn from (VCS source). */
+    std::array<std::vector<VertexId>, kMaxPatternSize> candidates{};
+
+    std::vector<VertexId> scratchA;
+    std::vector<VertexId> scratchB;
+    std::array<std::span<const VertexId>, kMaxPatternSize> listBuf{};
+
+    explicit
+    Runner(const Graph &graph, const ExtendPlan &p, MatchVisitor *vis,
+           RunnerHooks *hk)
+        : g(graph), plan(p), visitor(vis), hooks(hk)
+    {}
+
+    std::span<const VertexId>
+    edgeList(VertexId v)
+    {
+        if (hooks)
+            hooks->onEdgeListAccess(v);
+        return g.neighbors(v);
+    }
+
+    /**
+     * Materialize the candidate set for position @p t into
+     * candidates[t] given matched positions 0..t-1.
+     */
+    void
+    buildCandidates(int t)
+    {
+        const PlanLevel &level = plan.levels[t];
+        std::vector<VertexId> &out = candidates[t];
+        PositionMask dep = level.depMask;
+        if (level.reuseParent) {
+            // Vertical computation sharing: start from the parent's
+            // stored result instead of re-intersecting its deps.
+            out.assign(candidates[t - 1].begin(), candidates[t - 1].end());
+            dep = level.extraDepMask;
+        } else {
+            std::size_t lists = 0;
+            for (int j = 0; j < t; ++j)
+                if ((dep >> j) & 1u)
+                    listBuf[lists++] = edgeList(vertices[j]);
+            result.workItems += intersectMany(
+                {listBuf.data(), lists}, out, scratchA);
+            dep = 0;
+        }
+        // Extra deps of a reused result are folded in one by one.
+        for (int j = 0; j < t; ++j) {
+            if ((dep >> j) & 1u) {
+                scratchB.clear();
+                result.workItems += intersectInto(
+                    out, edgeList(vertices[j]), scratchB);
+                out.swap(scratchB);
+            }
+        }
+        // Induced matching: remove neighbors of non-adjacent
+        // earlier positions.
+        const PositionMask anti = level.reuseParent ? level.extraAntiMask
+                                                    : level.antiMask;
+        for (int j = 0; j < t; ++j) {
+            if ((anti >> j) & 1u) {
+                scratchB.clear();
+                result.workItems += subtractInto(
+                    out, edgeList(vertices[j]), scratchB);
+                out.swap(scratchB);
+            }
+        }
+    }
+
+    /** Filters that are applied per candidate, not per set. */
+    bool
+    accept(int t, VertexId candidate)
+    {
+        ++result.candidatesChecked;
+        const PlanLevel &level = plan.levels[t];
+        if (level.hasLabelFilter && g.label(candidate) != level.labelFilter)
+            return false;
+        for (int j = 0; j < t; ++j) {
+            if (vertices[j] == candidate)
+                return false;
+            if (((level.greaterThanMask >> j) & 1u)
+                && candidate <= vertices[j])
+                return false;
+        }
+        return true;
+    }
+
+    /** Terminal IEP block: count the suffix by inclusion-exclusion. */
+    void
+    terminalIep(int prefix_len)
+    {
+        std::array<std::int64_t, 32> sizes{};
+        for (std::size_t m = 0; m < plan.iep.masks.size(); ++m) {
+            const PositionMask mask = plan.iep.masks[m];
+            const bool reuse = !plan.iep.maskReuse.empty()
+                && plan.iep.maskReuse[m] && prefix_len >= 2;
+            std::size_t lists = 0;
+            if (reuse) {
+                // Vertical sharing into the IEP block.
+                listBuf[lists++] = candidates[prefix_len - 1];
+                for (int j = 0; j < prefix_len; ++j)
+                    if ((plan.iep.maskExtra[m] >> j) & 1u)
+                        listBuf[lists++] = edgeList(vertices[j]);
+            } else {
+                for (int j = 0; j < prefix_len; ++j)
+                    if ((mask >> j) & 1u)
+                        listBuf[lists++] = edgeList(vertices[j]);
+            }
+            Count count = 0;
+            result.workItems += intersectManyCount(
+                {listBuf.data(), lists}, count, scratchA, scratchB);
+            std::int64_t size = static_cast<std::int64_t>(count);
+            // Candidate sets must exclude already-matched vertices.
+            for (int j = 0; j < prefix_len; ++j) {
+                bool inside = true;
+                for (std::size_t l = 0; l < lists && inside; ++l)
+                    inside = contains(listBuf[l], vertices[j]);
+                if (inside)
+                    --size;
+            }
+            sizes[m] = size;
+        }
+        for (const IepBlock::Term &term : plan.iep.terms) {
+            std::int64_t product = term.coefficient;
+            for (const int idx : term.maskIndex)
+                product *= sizes[idx];
+            result.rawCount += product;
+        }
+    }
+
+    /** Terminal without IEP: scan position n-1 candidates. */
+    void
+    terminalScan()
+    {
+        const int t = plan.pattern.size() - 1;
+        buildCandidates(t);
+        for (const VertexId candidate : candidates[t]) {
+            if (!accept(t, candidate))
+                continue;
+            ++result.rawCount;
+            if (visitor) {
+                vertices[t] = candidate;
+                visitor->match({vertices.data(),
+                                static_cast<std::size_t>(t + 1)});
+            }
+        }
+    }
+
+    void
+    recurse(int level)
+    {
+        ++result.embeddingsVisited;
+        const int n = plan.pattern.size();
+        const int prefix_len = plan.numMaterializedLevels();
+        if (plan.hasIep && level == prefix_len - 1) {
+            terminalIep(prefix_len);
+            return;
+        }
+        if (!plan.hasIep && level == n - 2) {
+            terminalScan();
+            return;
+        }
+        const int t = level + 1;
+        buildCandidates(t);
+        // candidates[t] is iterated by index because deeper levels
+        // reuse it (VCS) via candidates[t] itself; reallocation is
+        // impossible since buildCandidates(t') with t' > t writes
+        // other slots.
+        for (std::size_t i = 0; i < candidates[t].size(); ++i) {
+            const VertexId candidate = candidates[t][i];
+            if (!accept(t, candidate))
+                continue;
+            vertices[t] = candidate;
+            recurse(t);
+        }
+    }
+};
+
+} // namespace
+
+RunnerResult
+runPlanDfs(const Graph &g, const ExtendPlan &plan,
+           std::span<const VertexId> roots, MatchVisitor *visitor,
+           RunnerHooks *hooks)
+{
+    const int n = plan.pattern.size();
+    KHUZDUL_REQUIRE(n >= 1, "plan has no levels");
+    if (visitor) {
+        KHUZDUL_REQUIRE(!plan.hasIep,
+                        "visitors cannot observe IEP-folded embeddings");
+        KHUZDUL_REQUIRE(plan.countDivisor == 1,
+                        "visitors need complete symmetry breaking");
+    }
+    Runner runner(g, plan, visitor, hooks);
+    const PlanLevel &root = plan.levels[0];
+    for (const VertexId v : roots) {
+        if (root.hasLabelFilter && g.label(v) != root.labelFilter)
+            continue;
+        runner.vertices[0] = v;
+        if (n == 1) {
+            ++runner.result.rawCount;
+            ++runner.result.embeddingsVisited;
+            if (visitor)
+                visitor->match({runner.vertices.data(), 1});
+            continue;
+        }
+        runner.recurse(0);
+    }
+    return runner.result;
+}
+
+Count
+countWithPlan(const Graph &g, const ExtendPlan &plan)
+{
+    std::vector<VertexId> roots(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        roots[v] = v;
+    const RunnerResult result = runPlanDfs(g, plan, roots);
+    KHUZDUL_CHECK(result.rawCount >= 0, "negative raw count");
+    KHUZDUL_CHECK(result.rawCount % plan.countDivisor == 0,
+                  "raw count " << result.rawCount
+                  << " not divisible by divisor " << plan.countDivisor);
+    return static_cast<Count>(result.rawCount / plan.countDivisor);
+}
+
+} // namespace core
+} // namespace khuzdul

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Single-machine DFS plan interpreter.  This is the nested-loop
+ * execution the paper's Figure 1 shows — the code shape Automine
+ * and GraphPi compile to.  It backs the single-machine baselines
+ * (AutomineIH, the Peregrine/Pangolin-like engines), the
+ * replicated-graph GraphPi baseline, and the per-tree computation
+ * of G-thinker; the distributed Khuzdul engine has its own chunked
+ * interpreter in core/engine.hh.
+ */
+
+#ifndef KHUZDUL_CORE_PLAN_RUNNER_HH
+#define KHUZDUL_CORE_PLAN_RUNNER_HH
+
+#include <span>
+
+#include "core/intersect.hh"
+#include "core/visitor.hh"
+#include "graph/graph.hh"
+#include "pattern/plan.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+/** Observation hooks for baseline engines built on the runner. */
+class RunnerHooks
+{
+  public:
+    virtual ~RunnerHooks() = default;
+
+    /** The enumeration just read the edge list of @p v. */
+    virtual void onEdgeListAccess(VertexId v) { (void)v; }
+};
+
+/** Work and result counters of one runner invocation. */
+struct RunnerResult
+{
+    /** Matches found, before dividing by plan.countDivisor. */
+    std::int64_t rawCount = 0;
+
+    /** Elements consumed by set kernels (compute-cost proxy). */
+    WorkItems workItems = 0;
+
+    /** Candidates examined against filters. */
+    Count candidatesChecked = 0;
+
+    /** Partial embeddings (internal tree nodes) visited. */
+    Count embeddingsVisited = 0;
+
+    void
+    accumulate(const RunnerResult &other)
+    {
+        rawCount += other.rawCount;
+        workItems += other.workItems;
+        candidatesChecked += other.candidatesChecked;
+        embeddingsVisited += other.embeddingsVisited;
+    }
+};
+
+/**
+ * Enumerate the embedding trees rooted at @p roots under @p plan.
+ *
+ * @param visitor optional; called per complete embedding (requires
+ *        a plan without IEP and with countDivisor == 1).
+ * @param hooks optional enumeration observer.
+ */
+RunnerResult runPlanDfs(const Graph &g, const ExtendPlan &plan,
+                        std::span<const VertexId> roots,
+                        MatchVisitor *visitor = nullptr,
+                        RunnerHooks *hooks = nullptr);
+
+/** Convenience: run from every vertex and apply the divisor. */
+Count countWithPlan(const Graph &g, const ExtendPlan &plan);
+
+} // namespace core
+} // namespace khuzdul
+
+#endif // KHUZDUL_CORE_PLAN_RUNNER_HH

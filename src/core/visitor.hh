@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The user-defined-function hook of the execution model: when the
+ * EXTEND function reaches a complete embedding it passes it to the
+ * application through this interface (Figure 5's UDF call).
+ */
+
+#ifndef KHUZDUL_CORE_VISITOR_HH
+#define KHUZDUL_CORE_VISITOR_HH
+
+#include <span>
+
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+/** Receives complete embeddings (tuple[i] = vertex at position i). */
+class MatchVisitor
+{
+  public:
+    virtual ~MatchVisitor() = default;
+
+    /**
+     * One embedding matching the plan's pattern.  The span is only
+     * valid during the call.
+     */
+    virtual void match(std::span<const VertexId> positions) = 0;
+};
+
+} // namespace core
+} // namespace khuzdul
+
+#endif // KHUZDUL_CORE_VISITOR_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * G-thinker baseline (§2.3, Table 2, Fig 15): the state-of-the-art
+ * partitioned-graph competitor.  Each task explores one whole
+ * embedding tree after pulling the k-hop subgraph it needs; a
+ * general-purpose LRU software cache shared by all tasks
+ * deduplicates pulls, at the price of maintaining the task<->data
+ * map on every request and periodic scheduler readiness scans.
+ * Those two costs — the paper measures them at ~41% and ~45% of
+ * runtime — are charged per operation through the cost model.
+ * Enumeration itself is exact (same plan interpreter), so counts
+ * can be cross-checked against every other engine.
+ */
+
+#ifndef KHUZDUL_ENGINES_GTHINKER_HH
+#define KHUZDUL_ENGINES_GTHINKER_HH
+
+#include "core/plan_runner.hh"
+#include "graph/graph.hh"
+#include "graph/partition.hh"
+#include "pattern/planner.hh"
+#include "sim/cluster.hh"
+#include "sim/cost_model.hh"
+#include "sim/stats.hh"
+
+namespace khuzdul
+{
+namespace engines
+{
+
+/** G-thinker deployment knobs. */
+struct GThinkerConfig
+{
+    sim::ClusterConfig cluster;
+    sim::CostModel cost;
+
+    /** Software cache capacity per node (bytes). */
+    std::uint64_t cacheBytes = 512 << 10;
+
+    /**
+     * Memory budget for in-flight tasks per node; with the k-hop
+     * subgraph footprint this caps concurrency at a few hundred
+     * tasks (the paper measures 150-300 for TC on Patents).
+     */
+    std::uint64_t taskMemoryBytes = 4 << 20;
+
+    /**
+     * Contention multiplier on cache/scheduler costs per extra
+     * socket: G-thinker has no NUMA support and its shared
+     * structures degrade badly on two sockets (Table 2 runs it
+     * single-socket for this reason).
+     */
+    double socketContentionFactor = 4.0;
+};
+
+/** Result of one G-thinker run. */
+struct GThinkerResult
+{
+    Count count = 0;
+    double makespanNs = 0;
+    sim::RunStats stats;
+};
+
+/** The engine. */
+class GThinkerEngine
+{
+  public:
+    GThinkerEngine(const Graph &g, const GThinkerConfig &config);
+
+    /** Count embeddings of @p p on the partitioned graph. */
+    GThinkerResult count(const Pattern &p,
+                         const PlanOptions &options = {});
+
+  private:
+    const Graph *graph_;
+    GThinkerConfig config_;
+    Partition partition_;
+};
+
+} // namespace engines
+} // namespace khuzdul
+
+#endif // KHUZDUL_ENGINES_GTHINKER_HH

@@ -1,0 +1,62 @@
+#include "graph/builder.hh"
+
+#include <algorithm>
+
+#include "support/check.hh"
+
+namespace khuzdul
+{
+
+GraphBuilder::GraphBuilder(VertexId num_vertices)
+    : numVertices_(num_vertices)
+{}
+
+void
+GraphBuilder::addEdge(VertexId u, VertexId v)
+{
+    KHUZDUL_REQUIRE(u < numVertices_ && v < numVertices_,
+                    "edge endpoint out of range: " << u << "," << v);
+    if (u == v)
+        return; // self loops are removed during preprocessing
+    if (u > v)
+        std::swap(u, v);
+    edges_.emplace_back(u, v);
+}
+
+Graph
+GraphBuilder::build(std::vector<Label> labels)
+{
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+    std::vector<EdgeId> degrees(numVertices_ + 1, 0);
+    for (const auto &[u, v] : edges_) {
+        ++degrees[u + 1];
+        ++degrees[v + 1];
+    }
+    std::vector<EdgeId> offsets(numVertices_ + 1, 0);
+    for (VertexId v = 0; v < numVertices_; ++v)
+        offsets[v + 1] = offsets[v] + degrees[v + 1];
+
+    std::vector<VertexId> adjacency(offsets.back());
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto &[u, v] : edges_) {
+        adjacency[cursor[u]++] = v;
+        adjacency[cursor[v]++] = u;
+    }
+    edges_.clear();
+    edges_.shrink_to_fit();
+
+    // Edges were inserted in sorted (u, v) order with u < v, so the
+    // suffix of each list (neighbors > v) is sorted but the prefix
+    // interleaves; sort each list to restore the CSR invariant.
+    for (VertexId v = 0; v < numVertices_; ++v) {
+        std::sort(adjacency.begin() + offsets[v],
+                  adjacency.begin() + offsets[v + 1]);
+    }
+
+    return Graph(std::move(offsets), std::move(adjacency),
+                 std::move(labels));
+}
+
+} // namespace khuzdul

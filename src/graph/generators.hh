@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic graph generators.  The paper evaluates on SNAP/WebGraph
+ * datasets that are not available offline; these generators produce
+ * stand-ins whose degree-distribution shape (skewed power law vs.
+ * near-uniform) matches the property each experiment isolates.
+ */
+
+#ifndef KHUZDUL_GRAPH_GENERATORS_HH
+#define KHUZDUL_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+
+#include "graph/graph.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace gen
+{
+
+/**
+ * R-MAT generator (Chakrabarti et al.).  Produces skewed power-law
+ * graphs; higher @p a relative to the rest increases skewness.
+ *
+ * @param num_vertices vertex count (rounded up to a power of two
+ *                     internally; ids above @p num_vertices are
+ *                     remapped down with a modulo).
+ * @param num_edges    number of undirected edges to sample (the
+ *                     final graph may have slightly fewer after
+ *                     dedup / self-loop removal).
+ */
+Graph rmat(VertexId num_vertices, EdgeId num_edges,
+           double a, double b, double c, std::uint64_t seed);
+
+/** Erdős–Rényi G(n, m): near-uniform degrees (low skew). */
+Graph erdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                 std::uint64_t seed);
+
+/**
+ * Low-skew "citation-like" generator: each vertex links to a
+ * handful of approximately uniform random earlier vertices,
+ * yielding a light-tailed degree distribution.
+ */
+Graph citation(VertexId num_vertices, unsigned out_degree,
+               std::uint64_t seed);
+
+/**
+ * Watts-Strogatz small world: ring lattice with @p k neighbors per
+ * side, each edge rewired with probability @p beta.  Light-tailed
+ * degrees with high clustering — the Patents stand-in (plenty of
+ * triangles, no hubs).
+ */
+Graph smallWorld(VertexId num_vertices, unsigned k, double beta,
+                 std::uint64_t seed);
+
+/** Union of two graphs over max(|V|) vertices (edge overlay). */
+Graph merge(const Graph &a, const Graph &b);
+
+/** Complete graph K_n (every pair connected). */
+Graph complete(VertexId num_vertices);
+
+/** Cycle C_n. */
+Graph cycle(VertexId num_vertices);
+
+/** Star with one hub and n-1 leaves (hub is vertex 0). */
+Graph star(VertexId num_vertices);
+
+/** Path P_n. */
+Graph path(VertexId num_vertices);
+
+/** 2-D grid of rows x cols vertices. */
+Graph grid(VertexId rows, VertexId cols);
+
+/** Attach uniformly random labels from [0, num_labels) to @p g. */
+void randomizeLabels(Graph &g, Label num_labels, std::uint64_t seed);
+
+} // namespace gen
+} // namespace khuzdul
+
+#endif // KHUZDUL_GRAPH_GENERATORS_HH

@@ -1,0 +1,44 @@
+#include "graph/graph.hh"
+
+#include <algorithm>
+
+namespace khuzdul
+{
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> adjacency,
+             std::vector<Label> labels)
+    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency))
+{
+    KHUZDUL_REQUIRE(!offsets_.empty(), "CSR offsets must have >= 1 entry");
+    KHUZDUL_REQUIRE(offsets_.front() == 0, "CSR offsets must start at 0");
+    KHUZDUL_REQUIRE(offsets_.back() == adjacency_.size(),
+                    "CSR offsets must end at the adjacency size");
+    const VertexId n = numVertices();
+    for (VertexId v = 0; v < n; ++v) {
+        KHUZDUL_REQUIRE(offsets_[v] <= offsets_[v + 1],
+                        "CSR offsets must be non-decreasing");
+        maxDegree_ = std::max(maxDegree_, degree(v));
+    }
+    if (!labels.empty())
+        setLabels(std::move(labels));
+}
+
+bool
+Graph::hasEdge(VertexId u, VertexId v) const
+{
+    const auto list = neighbors(u);
+    return std::binary_search(list.begin(), list.end(), v);
+}
+
+void
+Graph::setLabels(std::vector<Label> labels)
+{
+    KHUZDUL_REQUIRE(labels.size() == numVertices(),
+                    "label vector size must match vertex count");
+    labels_ = std::move(labels);
+    numLabels_ = 0;
+    for (const Label l : labels_)
+        numLabels_ = std::max(numLabels_, l + 1);
+}
+
+} // namespace khuzdul

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Immutable CSR graph.  This is the substrate every engine in the
+ * reproduction operates on: undirected simple graphs stored as
+ * sorted adjacency (both directions materialized), with optional
+ * vertex labels for labeled mining (FSM).
+ */
+
+#ifndef KHUZDUL_GRAPH_GRAPH_HH
+#define KHUZDUL_GRAPH_GRAPH_HH
+
+#include <span>
+#include <vector>
+
+#include "support/check.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+
+/**
+ * Compressed-sparse-row graph.
+ *
+ * Invariants: neighbor lists are sorted ascending, contain no
+ * duplicates and no self loops.  For an undirected graph both arc
+ * directions are present; orientation (graph::orient) produces a DAG
+ * where only one direction remains.
+ */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /**
+     * Construct from raw CSR arrays.
+     *
+     * @param offsets size numVertices()+1, offsets[v]..offsets[v+1]
+     *                delimit v's neighbors in @p adjacency.
+     * @param adjacency concatenated sorted neighbor lists.
+     * @param labels optional per-vertex labels (empty = unlabeled).
+     */
+    Graph(std::vector<EdgeId> offsets, std::vector<VertexId> adjacency,
+          std::vector<Label> labels = {});
+
+    /** Number of vertices. */
+    VertexId
+    numVertices() const
+    {
+        return offsets_.empty()
+            ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+    }
+
+    /** Number of stored arcs (2x undirected edge count). */
+    EdgeId numArcs() const { return adjacency_.size(); }
+
+    /** Number of undirected edges (arcs / 2); for DAGs equals arcs. */
+    EdgeId numEdges() const { return numArcs() / (directed_ ? 1 : 2); }
+
+    /** Degree (neighbor count) of @p v. */
+    EdgeId
+    degree(VertexId v) const
+    {
+        return offsets_[v + 1] - offsets_[v];
+    }
+
+    /** Sorted neighbor list of @p v. */
+    std::span<const VertexId>
+    neighbors(VertexId v) const
+    {
+        return {adjacency_.data() + offsets_[v],
+                adjacency_.data() + offsets_[v + 1]};
+    }
+
+    /** Binary-search membership test for the arc (u, v). */
+    bool hasEdge(VertexId u, VertexId v) const;
+
+    /** Largest degree over all vertices. */
+    EdgeId maxDegree() const { return maxDegree_; }
+
+    /** Whether labels are attached. */
+    bool labeled() const { return !labels_.empty(); }
+
+    /** Label of @p v; graphs without labels report label 0. */
+    Label
+    label(VertexId v) const
+    {
+        return labels_.empty() ? 0 : labels_[v];
+    }
+
+    /** Number of distinct labels (0 when unlabeled). */
+    Label numLabels() const { return numLabels_; }
+
+    /** Attach per-vertex labels (size must equal numVertices()). */
+    void setLabels(std::vector<Label> labels);
+
+    /**
+     * Whether the adjacency is directed (true after orientation);
+     * affects how numEdges() interprets the arc count.
+     */
+    bool directed() const { return directed_; }
+
+    /** Mark this graph as directed (used by graph::orient). */
+    void setDirected(bool directed) { directed_ = directed; }
+
+    /**
+     * Bytes needed to store the adjacency structure; this is the
+     * figure "graph size" ratios (cache sizing) are computed from.
+     */
+    std::uint64_t
+    sizeBytes() const
+    {
+        return adjacency_.size() * sizeof(VertexId)
+            + offsets_.size() * sizeof(EdgeId);
+    }
+
+    /** Bytes of the edge list payload of one vertex. */
+    std::uint64_t
+    edgeListBytes(VertexId v) const
+    {
+        return degree(v) * sizeof(VertexId);
+    }
+
+  private:
+    std::vector<EdgeId> offsets_;
+    std::vector<VertexId> adjacency_;
+    std::vector<Label> labels_;
+    EdgeId maxDegree_ = 0;
+    Label numLabels_ = 0;
+    bool directed_ = false;
+};
+
+} // namespace khuzdul
+
+#endif // KHUZDUL_GRAPH_GRAPH_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Graph serialization: SNAP-style whitespace edge-list text and a
+ * compact binary CSR format for fast reload.
+ */
+
+#ifndef KHUZDUL_GRAPH_IO_HH
+#define KHUZDUL_GRAPH_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace khuzdul
+{
+namespace io
+{
+
+/**
+ * Parse a whitespace-separated edge list ("u v" per line, '#' or '%'
+ * comment lines ignored).  Vertex ids are as written; the vertex
+ * count is 1 + max id.  Preprocessing (dedup, self-loop removal,
+ * symmetrization) is applied.
+ */
+Graph readEdgeList(std::istream &in);
+
+/** Convenience wrapper opening @p path. */
+Graph readEdgeListFile(const std::string &path);
+
+/** Write "u v" lines, one per undirected edge (u < v). */
+void writeEdgeList(const Graph &g, std::ostream &out);
+
+/** Write the binary CSR format. */
+void writeBinary(const Graph &g, std::ostream &out);
+
+/** Read the binary CSR format written by writeBinary(). */
+Graph readBinary(std::istream &in);
+
+} // namespace io
+} // namespace khuzdul
+
+#endif // KHUZDUL_GRAPH_IO_HH

@@ -1,0 +1,41 @@
+#include "graph/orientation.hh"
+
+#include <vector>
+
+namespace khuzdul
+{
+namespace graph
+{
+
+Graph
+orient(const Graph &g)
+{
+    const VertexId n = g.numVertices();
+    const auto precedes = [&g](VertexId u, VertexId v) {
+        const EdgeId du = g.degree(u);
+        const EdgeId dv = g.degree(v);
+        return du < dv || (du == dv && u < v);
+    };
+
+    std::vector<EdgeId> offsets(n + 1, 0);
+    for (VertexId u = 0; u < n; ++u) {
+        EdgeId kept = 0;
+        for (const VertexId v : g.neighbors(u))
+            if (precedes(u, v))
+                ++kept;
+        offsets[u + 1] = offsets[u] + kept;
+    }
+    std::vector<VertexId> adjacency(offsets.back());
+    for (VertexId u = 0; u < n; ++u) {
+        EdgeId cursor = offsets[u];
+        for (const VertexId v : g.neighbors(u))
+            if (precedes(u, v))
+                adjacency[cursor++] = v;
+    }
+    Graph out(std::move(offsets), std::move(adjacency));
+    out.setDirected(true);
+    return out;
+}
+
+} // namespace graph
+} // namespace khuzdul

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Orientation preprocessing (Pangolin's optimization, paper §7.2):
+ * convert the undirected graph into a DAG by keeping each edge only
+ * in the direction of increasing (degree, id).  Triangle and clique
+ * counting on the DAG visits each embedding exactly once, slashing
+ * work on skewed graphs.
+ */
+
+#ifndef KHUZDUL_GRAPH_ORIENTATION_HH
+#define KHUZDUL_GRAPH_ORIENTATION_HH
+
+#include "graph/graph.hh"
+
+namespace khuzdul
+{
+namespace graph
+{
+
+/**
+ * Produce the degree-oriented DAG of @p g: the arc (u, v) is kept iff
+ * (deg(u), u) < (deg(v), v).  The result is marked directed().
+ */
+Graph orient(const Graph &g);
+
+} // namespace graph
+} // namespace khuzdul
+
+#endif // KHUZDUL_GRAPH_ORIENTATION_HH

@@ -1,0 +1,93 @@
+#include "pattern/bruteforce.hh"
+
+#include "pattern/isomorphism.hh"
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace brute
+{
+
+namespace
+{
+
+struct Search
+{
+    const Graph &g;
+    const Pattern &p;
+    bool induced;
+    const std::function<void(const Match &)> &fn;
+    Match match{};
+
+    bool
+    consistent(int i, VertexId candidate) const
+    {
+        if (p.labeled() && g.label(candidate) != p.label(i))
+            return false;
+        for (int j = 0; j < i; ++j) {
+            if (match[j] == candidate)
+                return false;
+            const bool g_edge = g.hasEdge(match[j], candidate);
+            const bool p_edge = p.hasEdge(j, i);
+            if (p_edge && !g_edge)
+                return false;
+            if (induced && !p_edge && g_edge)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    recurse(int i)
+    {
+        if (i == p.size()) {
+            fn(match);
+            return;
+        }
+        // Pick candidates from a matched pattern-neighbor's list when
+        // one exists (pattern connectivity makes i=0 the only root).
+        int anchor = -1;
+        for (int j = 0; j < i; ++j)
+            if (p.hasEdge(j, i))
+                anchor = j;
+        if (anchor < 0) {
+            for (VertexId v = 0; v < g.numVertices(); ++v)
+                if (consistent(i, v)) {
+                    match[i] = v;
+                    recurse(i + 1);
+                }
+        } else {
+            for (const VertexId v : g.neighbors(match[anchor]))
+                if (consistent(i, v)) {
+                    match[i] = v;
+                    recurse(i + 1);
+                }
+        }
+    }
+};
+
+} // namespace
+
+void
+forEachOrderedMatch(const Graph &g, const Pattern &p, bool induced,
+                    const std::function<void(const Match &)> &fn)
+{
+    KHUZDUL_REQUIRE(p.size() >= 1 && p.connected(),
+                    "brute-force matching needs a connected pattern");
+    Search search{g, p, induced, fn, {}};
+    search.recurse(0);
+}
+
+Count
+countEmbeddings(const Graph &g, const Pattern &p, bool induced)
+{
+    Count ordered = 0;
+    forEachOrderedMatch(g, p, induced, [&](const Match &) { ++ordered; });
+    const auto autos = iso::automorphisms(p).size();
+    KHUZDUL_CHECK(ordered % autos == 0,
+                  "ordered match count must be divisible by |Aut|");
+    return ordered / autos;
+}
+
+} // namespace brute
+} // namespace khuzdul

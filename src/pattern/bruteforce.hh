@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Brute-force pattern matching by plain backtracking.  This is the
+ * correctness oracle for every engine in the repository, and the
+ * enumeration substrate of the pattern-oblivious (Fractal-like)
+ * baseline.  It is deliberately simple and makes no use of
+ * schedules, restrictions or IEP.
+ */
+
+#ifndef KHUZDUL_PATTERN_BRUTEFORCE_HH
+#define KHUZDUL_PATTERN_BRUTEFORCE_HH
+
+#include <array>
+#include <functional>
+
+#include "graph/graph.hh"
+#include "pattern/pattern.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace brute
+{
+
+/** One ordered match: tuple[i] = graph vertex for pattern vertex i. */
+using Match = std::array<VertexId, kMaxPatternSize>;
+
+/**
+ * Invoke @p fn for every ordered match (monomorphism; with
+ * @p induced, exact-adjacency embedding) of @p p in @p g.  Labeled
+ * patterns require matching vertex labels.
+ */
+void forEachOrderedMatch(const Graph &g, const Pattern &p, bool induced,
+                         const std::function<void(const Match &)> &fn);
+
+/**
+ * Number of (unordered) embeddings of @p p in @p g — ordered matches
+ * divided by |Aut(p)|.
+ */
+Count countEmbeddings(const Graph &g, const Pattern &p,
+                      bool induced = false);
+
+} // namespace brute
+} // namespace khuzdul
+
+#endif // KHUZDUL_PATTERN_BRUTEFORCE_HH

@@ -1,0 +1,107 @@
+#include "pattern/generation.hh"
+
+#include <bit>
+#include <map>
+#include <utility>
+
+#include "pattern/isomorphism.hh"
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace gen
+{
+
+namespace
+{
+
+/** Insert @p p into @p seen/out when its canonical code is new. */
+void
+dedupInsert(const Pattern &p,
+            std::map<iso::CanonicalCode, bool> &seen,
+            std::vector<Pattern> &out)
+{
+    const auto code = iso::canonicalCode(p);
+    if (seen.emplace(code, true).second)
+        out.push_back(iso::canonicalForm(p));
+}
+
+} // namespace
+
+std::vector<Pattern>
+connectedPatterns(int num_vertices)
+{
+    KHUZDUL_REQUIRE(num_vertices >= 1 && num_vertices <= 6,
+                    "connectedPatterns supports 1..6 vertices, got "
+                    << num_vertices);
+    const int pairs = num_vertices * (num_vertices - 1) / 2;
+    std::map<iso::CanonicalCode, bool> seen;
+    std::vector<Pattern> out;
+    for (std::uint32_t mask = 0; mask < (1u << pairs); ++mask) {
+        Pattern p(num_vertices);
+        int bit = 0;
+        for (int u = 0; u < num_vertices; ++u)
+            for (int v = u + 1; v < num_vertices; ++v, ++bit)
+                if ((mask >> bit) & 1u)
+                    p.addEdge(u, v);
+        if (p.connected())
+            dedupInsert(p, seen, out);
+    }
+    return out;
+}
+
+std::vector<Pattern>
+connectedPatternsUpToEdges(int max_edges)
+{
+    KHUZDUL_REQUIRE(max_edges >= 1 && max_edges <= 7,
+                    "connectedPatternsUpToEdges supports 1..7 edges");
+    std::map<iso::CanonicalCode, bool> seen;
+    std::vector<Pattern> out;
+    // A connected graph with e edges has at most e+1 vertices.
+    for (int n = 2; n <= max_edges + 1 && n <= kMaxPatternSize; ++n) {
+        const int pairs = n * (n - 1) / 2;
+        for (std::uint32_t mask = 0; mask < (1u << pairs); ++mask) {
+            if (std::popcount(mask) > max_edges)
+                continue;
+            Pattern p(n);
+            int bit = 0;
+            for (int u = 0; u < n; ++u)
+                for (int v = u + 1; v < n; ++v, ++bit)
+                    if ((mask >> bit) & 1u)
+                        p.addEdge(u, v);
+            if (p.connected())
+                dedupInsert(p, seen, out);
+        }
+    }
+    return out;
+}
+
+std::vector<Pattern>
+labelings(const Pattern &base, Label num_labels)
+{
+    KHUZDUL_REQUIRE(num_labels >= 1, "need at least one label");
+    std::map<iso::CanonicalCode, bool> seen;
+    std::vector<Pattern> out;
+    const int n = base.size();
+    std::vector<Label> assignment(n, 0);
+    while (true) {
+        Pattern p = base;
+        for (int v = 0; v < n; ++v)
+            p.setLabel(v, assignment[v]);
+        dedupInsert(p, seen, out);
+        // Odometer increment over label assignments.
+        int pos = 0;
+        while (pos < n) {
+            if (++assignment[pos] < num_labels)
+                break;
+            assignment[pos] = 0;
+            ++pos;
+        }
+        if (pos == n)
+            break;
+    }
+    return out;
+}
+
+} // namespace gen
+} // namespace khuzdul

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Extension plans: the compiled form of a pattern-enumeration
+ * algorithm.  A plan is what a client GPM system (k-Automine,
+ * k-GraphPi, ...) hands to the engine; the engine's EXTEND function
+ * interprets one plan level per extendable-embedding extension,
+ * exactly like one loop level of the paper's generated nested loops
+ * (Figure 5).
+ */
+
+#ifndef KHUZDUL_PATTERN_PLAN_HH
+#define KHUZDUL_PATTERN_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+
+/** Bitmask over matching-order positions (bit i = position i). */
+using PositionMask = std::uint32_t;
+
+/**
+ * How position @p i of the matching order is matched.
+ * levels[0] is the root level and carries no constraints.
+ */
+struct PlanLevel
+{
+    /**
+     * Earlier positions whose edge lists are intersected to produce
+     * the candidate set for this position.
+     */
+    PositionMask depMask = 0;
+
+    /**
+     * Induced matching only: earlier positions whose neighbors must
+     * be excluded from the candidate set.
+     */
+    PositionMask antiMask = 0;
+
+    /**
+     * Symmetry breaking: the candidate must be greater than the
+     * vertex at every position in this mask.
+     */
+    PositionMask greaterThanMask = 0;
+
+    /**
+     * Positions whose edge lists any later level still needs — the
+     * paper's active vertices (anti-monotone by construction).
+     */
+    PositionMask activeMask = 0;
+
+    /**
+     * Whether the edge list of the vertex matched at this position
+     * must be available for later levels (drives fetching).
+     */
+    bool fetchEdgeList = false;
+
+    /**
+     * Vertical computation sharing (paper §5.1): when true the
+     * candidate set is the parent's stored intermediate result
+     * intersected with extraDepMask's edge lists only.
+     */
+    bool reuseParent = false;
+
+    /** Extra dependencies on top of the parent's stored result. */
+    PositionMask extraDepMask = 0;
+
+    /** Induced mode: extra exclusions on top of the parent result. */
+    PositionMask extraAntiMask = 0;
+
+    /**
+     * Whether embeddings at this level store their originating
+     * candidate set as a reusable intermediate result for children.
+     */
+    bool storeResult = false;
+
+    /** Labeled matching: candidate must carry this label. */
+    bool hasLabelFilter = false;
+    Label labelFilter = 0;
+};
+
+/**
+ * Inclusion-exclusion terminal block (GraphPi's IEP): the last
+ * suffixSize positions are pairwise non-adjacent in the pattern, so
+ * instead of materializing them the engine computes candidate-set
+ * sizes and combines them over set partitions.
+ */
+struct IepBlock
+{
+    /** Number of trailing positions folded into the IEP. */
+    int suffixSize = 0;
+
+    /** Unique combined dependency masks whose sizes are needed. */
+    std::vector<PositionMask> masks;
+
+    /**
+     * Vertical sharing into the IEP: masks[i] with maskReuse[i] set
+     * extend the last prefix level's stored candidate set, so only
+     * maskExtra[i]'s lists are intersected on top of it.
+     */
+    std::vector<bool> maskReuse;
+    std::vector<PositionMask> maskExtra;
+
+    /** One term per set partition of the suffix. */
+    struct Term
+    {
+        /** prod of (-1)^(|B|-1) (|B|-1)! over blocks. */
+        std::int64_t coefficient = 1;
+        /** Index into masks, one per block of the partition. */
+        std::vector<int> maskIndex;
+    };
+    std::vector<Term> terms;
+};
+
+/**
+ * A complete extension plan for one pattern.
+ *
+ * The pattern is stored reordered so that matching-order position i
+ * is pattern vertex i.  Counts produced by running the plan must be
+ * divided by countDivisor (a group-theoretic constant; 1 when the
+ * symmetry-breaking restrictions are complete).
+ */
+struct ExtendPlan
+{
+    /** Reordered pattern (position = vertex). */
+    Pattern pattern;
+
+    /** Induced (exact-adjacency) or non-induced matching. */
+    bool induced = false;
+
+    /** Per-position matching description; size = pattern.size(). */
+    std::vector<PlanLevel> levels;
+
+    /** Present when the plan ends in an IEP terminal block. */
+    bool hasIep = false;
+    IepBlock iep;
+
+    /** Divide raw match counts by this to get embedding counts. */
+    std::int64_t countDivisor = 1;
+
+    /** Number of levels materialized as extendable embeddings. */
+    int
+    numMaterializedLevels() const
+    {
+        return pattern.size() - (hasIep ? iep.suffixSize : 0);
+    }
+
+    /** Debug rendering of the plan. */
+    std::string toString() const;
+};
+
+} // namespace khuzdul
+
+#endif // KHUZDUL_PATTERN_PLAN_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Simulated cluster topology.  Mirrors the paper's testbeds: the
+ * default is the 8-node cluster of §7.1 (two 8-core sockets per
+ * node); Table 5 uses an 18-node cluster with two 16-core sockets.
+ */
+
+#ifndef KHUZDUL_SIM_CLUSTER_HH
+#define KHUZDUL_SIM_CLUSTER_HH
+
+#include "support/check.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace sim
+{
+
+/** Static description of the simulated machines. */
+struct ClusterConfig
+{
+    /** Number of machines. */
+    NodeId numNodes = 8;
+
+    /** Sockets per machine (NUMA domains, §5.4). */
+    unsigned socketsPerNode = 2;
+
+    /** Physical cores per socket. */
+    unsigned coresPerSocket = 8;
+
+    /**
+     * Cores per node dedicated to communication threads (the paper
+     * reserves them 1:3 against compute and pins them, §6).
+     */
+    unsigned commCoresPerNode = 4;
+
+    /** Memory per node in bytes (64 GB in §7.1). */
+    std::uint64_t memoryBytesPerNode = 64ull << 30;
+
+    /** Total cores of one node. */
+    unsigned
+    coresPerNode() const
+    {
+        return socketsPerNode * coresPerSocket;
+    }
+
+    /** Cores of one node that run computation threads. */
+    unsigned
+    computeCoresPerNode() const
+    {
+        KHUZDUL_REQUIRE(coresPerNode() > commCoresPerNode,
+                        "need at least one compute core per node");
+        return coresPerNode() - commCoresPerNode;
+    }
+
+    /** The paper's default evaluation cluster (§7.1). */
+    static ClusterConfig
+    paperDefault(NodeId num_nodes = 8)
+    {
+        ClusterConfig config;
+        config.numNodes = num_nodes;
+        return config;
+    }
+
+    /** Single-socket variant (Table 2 parenthesised runtimes). */
+    static ClusterConfig
+    singleSocket(NodeId num_nodes = 8)
+    {
+        ClusterConfig config;
+        config.numNodes = num_nodes;
+        config.socketsPerNode = 1;
+        config.commCoresPerNode = 2;
+        return config;
+    }
+
+    /** Table 5's larger cluster (two 16-core sockets, 128 GB). */
+    static ClusterConfig
+    largeCluster(NodeId num_nodes = 18)
+    {
+        ClusterConfig config;
+        config.numNodes = num_nodes;
+        config.coresPerSocket = 16;
+        config.commCoresPerNode = 8;
+        config.memoryBytesPerNode = 128ull << 30;
+        return config;
+    }
+};
+
+} // namespace sim
+} // namespace khuzdul
+
+#endif // KHUZDUL_SIM_CLUSTER_HH

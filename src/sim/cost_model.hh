@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Calibrated cost model for the simulated cluster.  The paper runs
+ * on real hardware (8x dual-socket Xeon E5-2630 v3, 56 Gbps
+ * InfiniBand); this reproduction executes the same algorithms on one
+ * host core and *models* time from measured operation counts.  The
+ * constants below approximate a 2.4 GHz 2015 Xeon core on
+ * intersection-bound code and the paper's fabric; every engine
+ * charges work through this one model so relative comparisons are
+ * apples-to-apples.
+ */
+
+#ifndef KHUZDUL_SIM_COST_MODEL_HH
+#define KHUZDUL_SIM_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace sim
+{
+
+/** All tunable time constants (nanoseconds unless noted). */
+struct CostModel
+{
+    /** @name Computation */
+    /// @{
+    /** Per element consumed by a sorted-list intersection. */
+    double intersectPerItemNs = 1.2;
+    /** Per candidate vertex examined (restriction/label checks). */
+    double candidateCheckNs = 1.0;
+    /** Per extendable embedding created (arena append). */
+    double embeddingCreateNs = 4.0;
+    /** Per UDF/count invocation at the terminal level. */
+    double terminalNs = 0.8;
+    /** Per horizontal-hash-table probe (simplified table, §5.2). */
+    double hashProbeNs = 2.5;
+    /** Per static-cache lookup (no bookkeeping, §5.3). */
+    double staticCacheProbeNs = 2.0;
+    /** Per lookup/update of a *replacement* cache (Fig 16): list
+     *  maintenance, refcounts and allocator pressure. */
+    double replacementCacheProbeNs = 130.0;
+    /** General-purpose allocation per cached list (replacement
+     *  policies cannot use a fixed-size pool, §7.6). */
+    double replacementAllocNs = 550.0;
+    /// @}
+
+    /** @name Scheduling */
+    /// @{
+    /** Mini-batch dispatch cost (lock-free queue pop, §6). */
+    double miniBatchDispatchNs = 150.0;
+    /** Per chunk: shuffle + pipeline setup (§4.3). */
+    double chunkSetupNs = 4000.0;
+    /** Per-pattern engine startup (chunk arenas, plan install);
+     *  the FSM experiment (§7.2) shows this matters. */
+    double engineStartupNs = 3.0e4;
+    /// @}
+
+    /** @name Network */
+    /// @{
+    /** One-way message latency. */
+    double netLatencyNs = 1800.0;
+    /** Link bandwidth in bytes per nanosecond (56 Gbps = 7 GB/s). */
+    double netBytesPerNs = 7.0;
+    /** Responder-side gather/copy into the send buffer per byte
+     *  (poor locality for many small lists, §7.8). */
+    double netCopyPerByteNs = 0.35;
+    /** Fixed responder cost per requested edge list. */
+    double netPerListNs = 60.0;
+    /** Extra latency for cross-socket (NUMA) accesses. */
+    double numaRemoteLatencyNs = 150.0;
+    /** Cross-socket bandwidth (bytes/ns); QPI-ish. */
+    double numaBytesPerNs = 12.0;
+    /// @}
+
+    /** @name G-thinker specific overheads (§2.3, Fig 15) */
+    /// @{
+    /** Cache map update per requested vertex (task<->data map). */
+    double gthinkerMapUpdateNs = 640.0;
+    /** Scheduler readiness scan per task per round. */
+    double gthinkerSchedulerScanNs = 360.0;
+    /** Garbage-collection check per cached list per round. */
+    double gthinkerGcCheckNs = 120.0;
+    /// @}
+
+    /** Transfer time of one batched request of @p bytes. */
+    double
+    transferNs(std::uint64_t bytes, std::uint64_t lists) const
+    {
+        return netLatencyNs
+            + static_cast<double>(bytes) / netBytesPerNs
+            + static_cast<double>(bytes) * netCopyPerByteNs
+            + static_cast<double>(lists) * netPerListNs;
+    }
+
+    /** Cross-socket transfer time (NUMA sub-partition fetch). */
+    double
+    numaTransferNs(std::uint64_t bytes, std::uint64_t lists) const
+    {
+        return numaRemoteLatencyNs
+            + static_cast<double>(bytes) / numaBytesPerNs
+            + static_cast<double>(lists) * 2.0;
+    }
+};
+
+} // namespace sim
+} // namespace khuzdul
+
+#endif // KHUZDUL_SIM_COST_MODEL_HH

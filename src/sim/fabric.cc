@@ -1,0 +1,61 @@
+#include "sim/fabric.hh"
+
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace sim
+{
+
+Fabric::Fabric(const Partition &partition, const CostModel &cost)
+    : partition_(&partition), cost_(&cost)
+{
+    const std::size_t links = static_cast<std::size_t>(
+        partition.numNodes()) * partition.numNodes();
+    bytes_.assign(links, 0);
+    messages_.assign(links, 0);
+}
+
+double
+Fabric::recordTransfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                       std::uint64_t lists)
+{
+    bytes_[linkIndex(src, dst)] += bytes;
+    messages_[linkIndex(src, dst)] += 1;
+    if (src == dst)
+        return cost_->numaTransferNs(bytes, lists);
+    crossNodeBytes_ += bytes;
+    if (byteCap_ != 0 && crossNodeBytes_ > byteCap_)
+        KHUZDUL_FATAL("fabric byte cap exceeded: " << crossNodeBytes_
+                      << " > " << byteCap_);
+    return cost_->transferNs(bytes, lists);
+}
+
+std::uint64_t
+Fabric::linkBytes(NodeId src, NodeId dst) const
+{
+    return bytes_[linkIndex(src, dst)];
+}
+
+std::uint64_t
+Fabric::linkMessages(NodeId src, NodeId dst) const
+{
+    return messages_[linkIndex(src, dst)];
+}
+
+std::uint64_t
+Fabric::totalBytes() const
+{
+    return crossNodeBytes_;
+}
+
+void
+Fabric::reset()
+{
+    bytes_.assign(bytes_.size(), 0);
+    messages_.assign(messages_.size(), 0);
+    crossNodeBytes_ = 0;
+}
+
+} // namespace sim
+} // namespace khuzdul

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The simulated interconnect.  In the paper, remote edge lists move
+ * over MPI/InfiniBand; here the graph is immutable and shared, so a
+ * "fetch" is a zero-copy read of the owner's partition plus an
+ * accounting entry: the fabric tracks every (src, dst, bytes,
+ * lists) transfer and converts batches to modeled transfer times
+ * via the CostModel.  This keeps engine logic identical to a real
+ * deployment while making runs deterministic on one host core.
+ */
+
+#ifndef KHUZDUL_SIM_FABRIC_HH
+#define KHUZDUL_SIM_FABRIC_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/partition.hh"
+#include "sim/cost_model.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace sim
+{
+
+/** Per-link transfer ledger plus timing oracle. */
+class Fabric
+{
+  public:
+    Fabric(const Partition &partition, const CostModel &cost);
+
+    const Partition &partition() const { return *partition_; }
+    const CostModel &cost() const { return *cost_; }
+
+    /** Zero-copy read of N(v) (the owner's resident copy). */
+    std::span<const VertexId>
+    edgeList(VertexId v) const
+    {
+        return partition_->graph().neighbors(v);
+    }
+
+    /** Payload bytes of N(v) on the wire. */
+    std::uint64_t
+    edgeListBytes(VertexId v) const
+    {
+        return partition_->graph().edgeListBytes(v);
+    }
+
+    /**
+     * Record one batched fetch of @p lists edge lists totalling
+     * @p bytes from node @p dst to node @p src and return its
+     * modeled duration.  Same-node transfers (cross-socket) use the
+     * NUMA model.
+     */
+    double recordTransfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                          std::uint64_t lists);
+
+    /** Bytes moved from @p dst to @p src so far. */
+    std::uint64_t linkBytes(NodeId src, NodeId dst) const;
+
+    /** Messages (batches) from @p dst to @p src so far. */
+    std::uint64_t linkMessages(NodeId src, NodeId dst) const;
+
+    /** Total bytes over all links (excluding same-node traffic). */
+    std::uint64_t totalBytes() const;
+
+    /**
+     * Failure injection for tests: throw FatalError once more than
+     * @p cap bytes have crossed the network (0 disables).
+     */
+    void setByteCap(std::uint64_t cap) { byteCap_ = cap; }
+
+    /** Reset the ledger (e.g. between patterns of a census). */
+    void reset();
+
+  private:
+    std::size_t
+    linkIndex(NodeId src, NodeId dst) const
+    {
+        return static_cast<std::size_t>(src) * partition_->numNodes()
+            + dst;
+    }
+
+    const Partition *partition_;
+    const CostModel *cost_;
+    std::vector<std::uint64_t> bytes_;
+    std::vector<std::uint64_t> messages_;
+    std::uint64_t byteCap_ = 0;
+    std::uint64_t crossNodeBytes_ = 0;
+};
+
+} // namespace sim
+} // namespace khuzdul
+
+#endif // KHUZDUL_SIM_FABRIC_HH

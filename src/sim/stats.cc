@@ -1,0 +1,187 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/format.hh"
+
+namespace khuzdul
+{
+namespace sim
+{
+
+double
+RunStats::makespanNs() const
+{
+    double slowest = 0;
+    for (const NodeStats &node : nodes)
+        slowest = std::max(slowest, node.totalNs());
+    return slowest + startupNs;
+}
+
+std::uint64_t
+RunStats::totalBytesSent() const
+{
+    std::uint64_t total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.bytesSent;
+    return total;
+}
+
+std::uint64_t
+RunStats::totalMessages() const
+{
+    std::uint64_t total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.messagesSent;
+    return total;
+}
+
+double
+RunStats::totalComputeNs() const
+{
+    double total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.computeNs;
+    return total;
+}
+
+double
+RunStats::totalCommExposedNs() const
+{
+    double total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.commExposedNs;
+    return total;
+}
+
+double
+RunStats::totalCommTotalNs() const
+{
+    double total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.commTotalNs;
+    return total;
+}
+
+double
+RunStats::totalSchedulerNs() const
+{
+    double total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.schedulerNs;
+    return total;
+}
+
+double
+RunStats::totalCacheNs() const
+{
+    double total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.cacheNs;
+    return total;
+}
+
+std::uint64_t
+RunStats::totalEmbeddings() const
+{
+    std::uint64_t total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.embeddingsCreated;
+    return total;
+}
+
+double
+RunStats::staticCacheHitRate() const
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (const NodeStats &node : nodes) {
+        hits += node.staticCacheHits;
+        misses += node.staticCacheMisses;
+    }
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits)
+                          / static_cast<double>(total);
+}
+
+double
+RunStats::networkUtilization(double bytes_per_ns) const
+{
+    const double makespan = makespanNs();
+    if (makespan <= 0 || nodes.empty())
+        return 0.0;
+    // Each node has a full-duplex link; utilization is measured on
+    // the send side like the paper's per-node NIC counters.
+    double busiest = 0;
+    for (const NodeStats &node : nodes) {
+        const double util = static_cast<double>(node.bytesSent)
+            / (bytes_per_ns * makespan);
+        busiest = std::max(busiest, util);
+    }
+    return std::min(1.0, busiest);
+}
+
+void
+RunStats::accumulate(const RunStats &other)
+{
+    if (nodes.size() < other.nodes.size())
+        nodes.resize(other.nodes.size());
+    for (std::size_t i = 0; i < other.nodes.size(); ++i) {
+        NodeStats &dst = nodes[i];
+        const NodeStats &src = other.nodes[i];
+        dst.computeNs += src.computeNs;
+        dst.commExposedNs += src.commExposedNs;
+        dst.commTotalNs += src.commTotalNs;
+        dst.schedulerNs += src.schedulerNs;
+        dst.cacheNs += src.cacheNs;
+        dst.bytesSent += src.bytesSent;
+        dst.bytesReceived += src.bytesReceived;
+        dst.messagesSent += src.messagesSent;
+        dst.listsFetchedRemote += src.listsFetchedRemote;
+        dst.listsServedLocal += src.listsServedLocal;
+        dst.staticCacheHits += src.staticCacheHits;
+        dst.staticCacheMisses += src.staticCacheMisses;
+        dst.staticCacheInsertions += src.staticCacheInsertions;
+        dst.horizontalHits += src.horizontalHits;
+        dst.horizontalDrops += src.horizontalDrops;
+        dst.verticalReuses += src.verticalReuses;
+        dst.embeddingsCreated += src.embeddingsCreated;
+        dst.intersectionItems += src.intersectionItems;
+        dst.chunksProcessed += src.chunksProcessed;
+        dst.peakChunkBytes = std::max(dst.peakChunkBytes,
+                                      src.peakChunkBytes);
+    }
+    startupNs += other.startupNs;
+}
+
+std::string
+RunStats::summary() const
+{
+    std::ostringstream os;
+    os << "makespan " << formatTime(static_cast<std::uint64_t>(makespanNs()))
+       << ", traffic " << formatBytes(totalBytesSent())
+       << " in " << formatCount(totalMessages()) << " messages\n";
+    os << "compute " << formatTime(static_cast<std::uint64_t>(
+            totalComputeNs()))
+       << ", exposed comm " << formatTime(static_cast<std::uint64_t>(
+            totalCommExposedNs()))
+       << ", scheduler " << formatTime(static_cast<std::uint64_t>(
+            totalSchedulerNs()))
+       << ", cache " << formatTime(static_cast<std::uint64_t>(
+            totalCacheNs())) << "\n";
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (const NodeStats &node : nodes) {
+        hits += node.staticCacheHits;
+        misses += node.staticCacheMisses;
+    }
+    if (hits + misses > 0)
+        os << "static cache hit rate "
+           << formatPercent(staticCacheHitRate()) << "\n";
+    return os.str();
+}
+
+} // namespace sim
+} // namespace khuzdul

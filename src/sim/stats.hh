@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Execution statistics for simulated runs: per-node modeled time
+ * split into the categories of the paper's Figure 15 (compute,
+ * network, scheduler, cache), a per-link traffic matrix, and cache
+ * counters.  Every bench table/figure is printed from these.
+ */
+
+#ifndef KHUZDUL_SIM_STATS_HH
+#define KHUZDUL_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace sim
+{
+
+/** Counters and modeled time for one simulated node. */
+struct NodeStats
+{
+    /** @name Modeled time (ns) */
+    /// @{
+    double computeNs = 0;       ///< embedding extension work
+    double commExposedNs = 0;   ///< communication on the critical path
+    double commTotalNs = 0;     ///< all communication (incl. hidden)
+    double schedulerNs = 0;     ///< chunk/mini-batch/task scheduling
+    double cacheNs = 0;         ///< software-cache maintenance
+    /// @}
+
+    /** @name Communication volume */
+    /// @{
+    std::uint64_t bytesSent = 0;
+    std::uint64_t bytesReceived = 0;
+    std::uint64_t messagesSent = 0;
+    std::uint64_t listsFetchedRemote = 0;
+    std::uint64_t listsServedLocal = 0;
+    /// @}
+
+    /** @name Data-reuse counters */
+    /// @{
+    std::uint64_t staticCacheHits = 0;
+    std::uint64_t staticCacheMisses = 0;
+    std::uint64_t staticCacheInsertions = 0;
+    std::uint64_t horizontalHits = 0;
+    std::uint64_t horizontalDrops = 0;
+    std::uint64_t verticalReuses = 0;
+    /// @}
+
+    /** @name Work counters */
+    /// @{
+    std::uint64_t embeddingsCreated = 0;
+    std::uint64_t intersectionItems = 0;
+    std::uint64_t chunksProcessed = 0;
+    std::uint64_t peakChunkBytes = 0;
+    /// @}
+
+    /** Total modeled wall time of this node. */
+    double
+    totalNs() const
+    {
+        return computeNs + commExposedNs + schedulerNs + cacheNs;
+    }
+};
+
+/** Whole-run statistics: one NodeStats per node plus globals. */
+struct RunStats
+{
+    std::vector<NodeStats> nodes;
+
+    /** Modeled startup charged once (engine/plan installation). */
+    double startupNs = 0;
+
+    /** Makespan: slowest node plus startup. */
+    double makespanNs() const;
+
+    /** Sum of a NodeStats field across nodes. */
+    std::uint64_t totalBytesSent() const;
+    std::uint64_t totalMessages() const;
+    double totalComputeNs() const;
+    double totalCommExposedNs() const;
+    double totalCommTotalNs() const;
+    double totalSchedulerNs() const;
+    double totalCacheNs() const;
+    std::uint64_t totalEmbeddings() const;
+
+    /** Static-cache hit rate over all nodes (0 when unused). */
+    double staticCacheHitRate() const;
+
+    /**
+     * Mean per-link utilization: bytes moved vs. what the bisection
+     * could move within the makespan (paper Fig 19).
+     */
+    double networkUtilization(double bytes_per_ns) const;
+
+    /** Merge two runs (e.g. per-pattern runs of a motif census). */
+    void accumulate(const RunStats &other);
+
+    /** Multi-line human-readable dump (for examples/debugging). */
+    std::string summary() const;
+};
+
+} // namespace sim
+} // namespace khuzdul
+
+#endif // KHUZDUL_SIM_STATS_HH

@@ -1,0 +1,37 @@
+#include "support/check.hh"
+
+#include <sstream>
+
+namespace khuzdul
+{
+namespace detail
+{
+
+namespace
+{
+
+std::string
+decorate(const char *kind, const char *file, int line,
+         const std::string &msg)
+{
+    std::ostringstream os;
+    os << kind << " at " << file << ":" << line << ": " << msg;
+    return os.str();
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    throw PanicError(decorate("panic", file, line, msg));
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(decorate("fatal", file, line, msg));
+}
+
+} // namespace detail
+} // namespace khuzdul

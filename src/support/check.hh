@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error handling helpers in the spirit of gem5's panic()/fatal():
+ * panic() flags internal invariant violations (bugs), fatal() flags
+ * unusable user input or configuration.
+ */
+
+#ifndef KHUZDUL_SUPPORT_CHECK_HH
+#define KHUZDUL_SUPPORT_CHECK_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace khuzdul
+{
+
+/** Thrown on internal invariant violations (engine bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+/** Thrown on invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+} // namespace khuzdul
+
+/** Abort with a PanicError; use for conditions that indicate a bug. */
+#define KHUZDUL_PANIC(msg)                                              \
+    ::khuzdul::detail::panicImpl(__FILE__, __LINE__,                    \
+        (std::ostringstream() << msg).str())
+
+/** Abort with a FatalError; use for bad user input/configuration. */
+#define KHUZDUL_FATAL(msg)                                              \
+    ::khuzdul::detail::fatalImpl(__FILE__, __LINE__,                    \
+        (std::ostringstream() << msg).str())
+
+/** Checked invariant: panics when the condition is false. */
+#define KHUZDUL_CHECK(cond, msg)                                        \
+    do {                                                                \
+        if (!(cond))                                                    \
+            KHUZDUL_PANIC("check failed: " #cond ": " << msg);          \
+    } while (0)
+
+/** Validate user-facing arguments: fatal when the condition is false. */
+#define KHUZDUL_REQUIRE(cond, msg)                                      \
+    do {                                                                \
+        if (!(cond))                                                    \
+            KHUZDUL_FATAL("requirement failed: " #cond ": " << msg);    \
+    } while (0)
+
+#endif // KHUZDUL_SUPPORT_CHECK_HH

@@ -1,0 +1,105 @@
+#include "support/format.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace khuzdul
+{
+
+namespace
+{
+
+std::string
+withUnit(double value, const char *unit)
+{
+    char buf[64];
+    if (value >= 100)
+        std::snprintf(buf, sizeof(buf), "%.0f%s", value, unit);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f%s", value, unit);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatTime(std::uint64_t ns)
+{
+    const double v = static_cast<double>(ns);
+    if (v < 1e3)
+        return withUnit(v, "ns");
+    if (v < 1e6)
+        return withUnit(v / 1e3, "us");
+    if (v < 1e9)
+        return withUnit(v / 1e6, "ms");
+    if (v < 3600e9)
+        return withUnit(v / 1e9, "s");
+    return withUnit(v / 3600e9, "h");
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    const double v = static_cast<double>(bytes);
+    if (v < 1024.0)
+        return withUnit(v, "B");
+    if (v < 1024.0 * 1024)
+        return withUnit(v / 1024.0, "KB");
+    if (v < 1024.0 * 1024 * 1024)
+        return withUnit(v / (1024.0 * 1024), "MB");
+    if (v < 1024.0 * 1024 * 1024 * 1024)
+        return withUnit(v / (1024.0 * 1024 * 1024), "GB");
+    return withUnit(v / (1024.0 * 1024 * 1024 * 1024), "TB");
+}
+
+std::string
+formatCount(std::uint64_t value)
+{
+    std::string raw = std::to_string(value);
+    std::string out;
+    const std::size_t n = raw.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(raw[i]);
+        const std::size_t remaining = n - i - 1;
+        if (remaining > 0 && remaining % 3 == 0)
+            out.push_back(',');
+    }
+    return out;
+}
+
+std::string
+formatRatio(double ratio)
+{
+    char buf[64];
+    if (ratio >= 100)
+        std::snprintf(buf, sizeof(buf), "%.0fx", ratio);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fx", ratio);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+} // namespace khuzdul

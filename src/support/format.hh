@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Human-readable formatting helpers used by the benchmark harnesses
+ * to print paper-style tables (runtimes, byte volumes, ratios).
+ */
+
+#ifndef KHUZDUL_SUPPORT_FORMAT_HH
+#define KHUZDUL_SUPPORT_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace khuzdul
+{
+
+/** Format nanoseconds as e.g. "35.3ms", "2.2s", "1.1h". */
+std::string formatTime(std::uint64_t ns);
+
+/** Format a byte count as e.g. "962.1MB", "4.4TB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format a count with thousands separators. */
+std::string formatCount(std::uint64_t value);
+
+/** Format a ratio as e.g. "75.5x". */
+std::string formatRatio(double ratio);
+
+/** Format a fraction as a percentage, e.g. "93.0%". */
+std::string formatPercent(double fraction);
+
+/** Left-pad @p s to @p width characters. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad @p s to @p width characters. */
+std::string padRight(const std::string &s, std::size_t width);
+
+} // namespace khuzdul
+
+#endif // KHUZDUL_SUPPORT_FORMAT_HH

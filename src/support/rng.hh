@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.  Every stochastic
+ * component of the reproduction (graph generators, label synthesis,
+ * workload shuffles) derives from these so results are bit-exact
+ * across runs.
+ */
+
+#ifndef KHUZDUL_SUPPORT_RNG_HH
+#define KHUZDUL_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+#include "support/check.hh"
+
+namespace khuzdul
+{
+
+/** SplitMix64 — used to seed and for one-shot hashing. */
+inline std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix; good for hash partitioning. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    std::uint64_t s = x;
+    return splitMix64(s);
+}
+
+/**
+ * xoshiro256** PRNG.  Small, fast and high-quality; seeded via
+ * SplitMix64 so any 64-bit seed works.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x7f4a7c15ULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        KHUZDUL_CHECK(bound > 0, "nextBounded needs a positive bound");
+        // Rejection-free bias is negligible for our bounds; use the
+        // widening-multiply trick for speed.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool coin(double p) { return nextDouble() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace khuzdul
+
+#endif // KHUZDUL_SUPPORT_RNG_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Wall-clock timing helper.  Benches report *modeled* cluster time
+ * from sim::RunStats; the wall timer exists to report host-side
+ * execution cost alongside it.
+ */
+
+#ifndef KHUZDUL_SUPPORT_TIMER_HH
+#define KHUZDUL_SUPPORT_TIMER_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace khuzdul
+{
+
+/** Simple monotonic stopwatch. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Elapsed nanoseconds since construction or reset(). */
+    std::uint64_t
+    elapsedNs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+    }
+
+    /** Elapsed seconds. */
+    double
+    elapsedSeconds() const
+    {
+        return static_cast<double>(elapsedNs()) * 1e-9;
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace khuzdul
+
+#endif // KHUZDUL_SUPPORT_TIMER_HH

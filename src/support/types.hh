@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental integer types and limits shared across the Khuzdul
+ * reproduction.
+ */
+
+#ifndef KHUZDUL_SUPPORT_TYPES_HH
+#define KHUZDUL_SUPPORT_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace khuzdul
+{
+
+/** Vertex identifier of the input graph (supports < 2^32 vertices). */
+using VertexId = std::uint32_t;
+
+/** Edge identifier / edge count type. */
+using EdgeId = std::uint64_t;
+
+/** Embedding / subgraph counters; GPM counts overflow 32 bits fast. */
+using Count = std::uint64_t;
+
+/** Vertex label for labeled mining (FSM). */
+using Label = std::uint32_t;
+
+/** Simulated node (machine) identifier within a cluster. */
+using NodeId = std::uint32_t;
+
+/** Simulated time in nanoseconds. */
+using SimTime = std::uint64_t;
+
+/** Sentinel for "no vertex". */
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/** Maximum number of vertices in a mined pattern. */
+inline constexpr int kMaxPatternSize = 8;
+
+} // namespace khuzdul
+
+#endif // KHUZDUL_SUPPORT_TYPES_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * End-to-end tests of the `khuzdul` command-line tool: each test
+ * shells out to the real binary (path injected by CMake) and checks
+ * exit codes and output fragments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef KHUZDUL_CLI_PATH
+#error "KHUZDUL_CLI_PATH must be defined by the build"
+#endif
+
+namespace
+{
+
+/** Run a CLI invocation, capturing stdout+stderr and exit code. */
+std::pair<int, std::string>
+runCli(const std::string &args)
+{
+    const std::string command =
+        std::string(KHUZDUL_CLI_PATH) + " " + args + " 2>&1";
+    FILE *pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    std::array<char, 4096> buffer;
+    while (fgets(buffer.data(), buffer.size(), pipe))
+        output += buffer.data();
+    const int status = pclose(pipe);
+    return {WEXITSTATUS(status), output};
+}
+
+TEST(Cli, HelpListsSubcommands)
+{
+    const auto [code, out] = runCli("help");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("count"), std::string::npos);
+    EXPECT_NE(out.find("fsm"), std::string::npos);
+}
+
+TEST(Cli, UnknownSubcommandFails)
+{
+    const auto [code, out] = runCli("frobnicate");
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(out.find("unknown subcommand"), std::string::npos);
+}
+
+TEST(Cli, CountTrianglesOnGeneratedGraph)
+{
+    const auto [code, out] =
+        runCli("count --graph er:500:2000:3 --pattern triangle "
+               "--nodes 2");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("embeddings of P3[0-1,0-2,1-2]"),
+              std::string::npos);
+    EXPECT_NE(out.find("modeled cluster time"), std::string::npos);
+}
+
+TEST(Cli, CountMatchesAcrossSystems)
+{
+    const auto a = runCli("count --graph rmat:800:4000:0.5:9 "
+                          "--pattern clique4 --system automine");
+    const auto b = runCli("count --graph rmat:800:4000:0.5:9 "
+                          "--pattern clique4 --system graphpi");
+    EXPECT_EQ(a.first, 0);
+    EXPECT_EQ(b.first, 0);
+    // First line carries the count; it must be identical.
+    EXPECT_EQ(a.second.substr(0, a.second.find('\n')),
+              b.second.substr(0, b.second.find('\n')));
+}
+
+TEST(Cli, PlanPrintsLevels)
+{
+    const auto [code, out] =
+        runCli("plan --pattern 0-1,1-2,2-0 --system automine");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("L1:"), std::string::npos);
+    EXPECT_NE(out.find("divisor=1"), std::string::npos);
+}
+
+TEST(Cli, GenerateConvertInfoRoundTrip)
+{
+    const std::string el = testing::TempDir() + "/cli_test.el";
+    const std::string bin = testing::TempDir() + "/cli_test.bin";
+    auto [gcode, gout] =
+        runCli("generate --spec sw:1000:3:0.1:5 --out " + el);
+    EXPECT_EQ(gcode, 0);
+    auto [ccode, cout_] =
+        runCli("convert --in " + el + " --out " + bin
+               + " --format binary");
+    EXPECT_EQ(ccode, 0);
+    auto [icode, iout] = runCli("info --graph " + bin);
+    EXPECT_EQ(icode, 0);
+    EXPECT_NE(iout.find("vertices:    1,000"), std::string::npos);
+    std::remove(el.c_str());
+    std::remove(bin.c_str());
+}
+
+TEST(Cli, MotifsAndFsmRun)
+{
+    const auto motifs =
+        runCli("motifs --graph er:400:1600:2 --size 3 --nodes 2");
+    EXPECT_EQ(motifs.first, 0);
+    // Both size-3 motifs appear (wedge + triangle).
+    EXPECT_NE(motifs.second.find("P3[0-1,0-2,1-2]"),
+              std::string::npos);
+
+    const auto fsm = runCli("fsm --graph er:400:1600:2 --labels 2 "
+                            "--support 50 --max-edges 2 --nodes 2");
+    EXPECT_EQ(fsm.first, 0);
+    EXPECT_NE(fsm.second.find("frequent patterns"), std::string::npos);
+}
+
+TEST(Cli, BadInputsReportErrors)
+{
+    EXPECT_EQ(runCli("count --graph /nonexistent.el "
+                     "--pattern triangle").first, 1);
+    EXPECT_EQ(runCli("count --graph er:100:200 "
+                     "--pattern bogus+spec").first, 1);
+    EXPECT_EQ(runCli("plan --pattern 0-1,2-3").first, 1); // disconnected
+}
+
+} // namespace

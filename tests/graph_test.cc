@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the graph substrate: builder preprocessing, CSR
+ * invariants, generators, serialization, orientation and the 1-D
+ * hash partitioner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "graph/builder.hh"
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+#include "graph/graph.hh"
+#include "graph/io.hh"
+#include "graph/orientation.hh"
+#include "graph/partition.hh"
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace
+{
+
+void
+expectCsrInvariants(const Graph &g)
+{
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const auto list = g.neighbors(v);
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            EXPECT_NE(list[i], v) << "self loop at " << v;
+            if (i > 0) {
+                EXPECT_LT(list[i - 1], list[i])
+                    << "unsorted/duplicate at " << v;
+            }
+        }
+        if (!g.directed()) {
+            for (const VertexId u : list)
+                EXPECT_TRUE(g.hasEdge(u, v)) << "asymmetric " << u;
+        }
+    }
+}
+
+TEST(Builder, RemovesSelfLoopsAndDuplicates)
+{
+    GraphBuilder builder(4);
+    builder.addEdge(0, 1);
+    builder.addEdge(1, 0); // duplicate, reversed
+    builder.addEdge(0, 1); // duplicate
+    builder.addEdge(2, 2); // self loop
+    builder.addEdge(2, 3);
+    const Graph g = builder.build();
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(3, 2));
+    EXPECT_FALSE(g.hasEdge(2, 2));
+    expectCsrInvariants(g);
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoint)
+{
+    GraphBuilder builder(3);
+    EXPECT_THROW(builder.addEdge(0, 3), FatalError);
+}
+
+TEST(Graph, DegreeAndMaxDegree)
+{
+    const Graph g = gen::star(5);
+    EXPECT_EQ(g.degree(0), 4u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.maxDegree(), 4u);
+    EXPECT_EQ(g.numEdges(), 4u);
+}
+
+TEST(Graph, LabelsRoundTrip)
+{
+    Graph g = gen::cycle(4);
+    EXPECT_FALSE(g.labeled());
+    g.setLabels({0, 1, 2, 1});
+    EXPECT_TRUE(g.labeled());
+    EXPECT_EQ(g.label(2), 2u);
+    EXPECT_EQ(g.numLabels(), 3u);
+}
+
+TEST(Graph, LabelSizeMismatchRejected)
+{
+    Graph g = gen::cycle(4);
+    EXPECT_THROW(g.setLabels({0, 1}), FatalError);
+}
+
+TEST(Generators, CompleteGraph)
+{
+    const Graph g = gen::complete(6);
+    EXPECT_EQ(g.numEdges(), 15u);
+    expectCsrInvariants(g);
+}
+
+TEST(Generators, CycleAndPathAndGrid)
+{
+    EXPECT_EQ(gen::cycle(7).numEdges(), 7u);
+    EXPECT_EQ(gen::path(7).numEdges(), 6u);
+    const Graph g = gen::grid(3, 4);
+    EXPECT_EQ(g.numVertices(), 12u);
+    EXPECT_EQ(g.numEdges(), 3u * 3 + 2u * 4);
+    expectCsrInvariants(g);
+}
+
+TEST(Generators, RmatIsDeterministicAndClean)
+{
+    const Graph a = gen::rmat(1024, 4096, 0.57, 0.19, 0.19, 99);
+    const Graph b = gen::rmat(1024, 4096, 0.57, 0.19, 0.19, 99);
+    EXPECT_EQ(a.numEdges(), b.numEdges());
+    EXPECT_GT(a.numEdges(), 1000u);
+    expectCsrInvariants(a);
+}
+
+TEST(Generators, RmatSkewGrowsWithA)
+{
+    const Graph skewed = gen::rmat(2048, 16384, 0.65, 0.15, 0.15, 7);
+    const Graph flat = gen::erdosRenyi(2048, 16384, 7);
+    const double skew_ratio = static_cast<double>(skewed.maxDegree())
+        / (2.0 * skewed.numEdges() / skewed.numVertices());
+    const double flat_ratio = static_cast<double>(flat.maxDegree())
+        / (2.0 * flat.numEdges() / flat.numVertices());
+    EXPECT_GT(skew_ratio, 4 * flat_ratio);
+}
+
+TEST(Generators, CitationIsLightTailed)
+{
+    const Graph g = gen::citation(4096, 6, 5);
+    const double avg = 2.0 * g.numEdges() / g.numVertices();
+    EXPECT_LT(static_cast<double>(g.maxDegree()), 12 * avg);
+    expectCsrInvariants(g);
+}
+
+TEST(Generators, SmallWorldIsClusteredAndLightTailed)
+{
+    const Graph g = gen::smallWorld(4000, 5, 0.2, 6);
+    // Light tail: max degree within a few x of the average.
+    const double avg = 2.0 * g.numEdges() / g.numVertices();
+    EXPECT_LT(static_cast<double>(g.maxDegree()), 4 * avg);
+    // High clustering: far more triangles than an Erdos-Renyi graph
+    // of the same size.
+    const Graph er = gen::erdosRenyi(4000, g.numEdges(), 6);
+    Count sw_triangles = 0;
+    Count er_triangles = 0;
+    for (VertexId v = 0; v < 4000; ++v) {
+        for (const VertexId a : g.neighbors(v))
+            for (const VertexId b : g.neighbors(v))
+                if (a < b && g.hasEdge(a, b) && v < a)
+                    ++sw_triangles;
+        for (const VertexId a : er.neighbors(v))
+            for (const VertexId b : er.neighbors(v))
+                if (a < b && er.hasEdge(a, b) && v < a)
+                    ++er_triangles;
+    }
+    EXPECT_GT(sw_triangles, 10 * er_triangles);
+}
+
+TEST(Generators, SmallWorldValidatesArguments)
+{
+    EXPECT_THROW(gen::smallWorld(8, 4, 0.1, 1), FatalError);
+    EXPECT_THROW(gen::smallWorld(100, 4, 1.5, 1), FatalError);
+}
+
+TEST(Generators, RandomLabels)
+{
+    Graph g = gen::erdosRenyi(500, 2000, 3);
+    gen::randomizeLabels(g, 4, 11);
+    EXPECT_TRUE(g.labeled());
+    EXPECT_LE(g.numLabels(), 4u);
+    std::array<int, 4> histogram{};
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ++histogram[g.label(v)];
+    for (const int count : histogram)
+        EXPECT_GT(count, 50);
+}
+
+TEST(Io, EdgeListRoundTrip)
+{
+    const Graph g = gen::rmat(256, 1024, 0.5, 0.2, 0.2, 1);
+    std::stringstream ss;
+    io::writeEdgeList(g, ss);
+    const Graph back = io::readEdgeList(ss);
+    EXPECT_EQ(back.numEdges(), g.numEdges());
+    // Trailing isolated vertices are not representable in an edge
+    // list, so the round-tripped graph may be shorter.
+    ASSERT_LE(back.numVertices(), g.numVertices());
+    for (VertexId v = 0; v < back.numVertices(); ++v)
+        EXPECT_EQ(back.degree(v), g.degree(v));
+    for (VertexId v = back.numVertices(); v < g.numVertices(); ++v)
+        EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Io, EdgeListSkipsComments)
+{
+    std::stringstream ss("# comment\n% other\n0 1\n1 2\n");
+    const Graph g = io::readEdgeList(ss);
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(Io, MalformedLineRejected)
+{
+    std::stringstream ss("0 x\n");
+    EXPECT_THROW(io::readEdgeList(ss), FatalError);
+}
+
+TEST(Io, BinaryRoundTripWithLabels)
+{
+    Graph g = gen::rmat(128, 512, 0.5, 0.2, 0.2, 2);
+    gen::randomizeLabels(g, 3, 4);
+    std::stringstream ss;
+    io::writeBinary(g, ss);
+    const Graph back = io::readBinary(ss);
+    EXPECT_EQ(back.numEdges(), g.numEdges());
+    EXPECT_TRUE(back.labeled());
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(back.degree(v), g.degree(v));
+        EXPECT_EQ(back.label(v), g.label(v));
+    }
+}
+
+TEST(Io, BadMagicRejected)
+{
+    std::stringstream ss("not a graph at all, truly");
+    EXPECT_THROW(io::readBinary(ss), FatalError);
+}
+
+TEST(Orientation, ProducesDagWithHalfTheArcs)
+{
+    const Graph g = gen::rmat(512, 2048, 0.57, 0.19, 0.19, 3);
+    const Graph dag = graph::orient(g);
+    EXPECT_TRUE(dag.directed());
+    EXPECT_EQ(dag.numArcs() * 2, g.numArcs());
+    // Each undirected edge appears in exactly one direction.
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (const VertexId u : dag.neighbors(v))
+            EXPECT_FALSE(dag.hasEdge(u, v));
+}
+
+TEST(Orientation, OrientsTowardHigherDegree)
+{
+    const Graph g = gen::star(5);
+    const Graph dag = graph::orient(g);
+    // Leaves (degree 1) point at the hub (degree 4).
+    EXPECT_EQ(dag.degree(0), 0u);
+    for (VertexId v = 1; v < 5; ++v)
+        EXPECT_TRUE(dag.hasEdge(v, 0));
+}
+
+TEST(Partition, CoversAllVerticesOnce)
+{
+    const Graph g = gen::rmat(1000, 4000, 0.5, 0.2, 0.2, 9);
+    const Partition part(g, 4, 2);
+    EXPECT_EQ(part.numUnits(), 8u);
+    std::vector<int> seen(g.numVertices(), 0);
+    for (unsigned u = 0; u < part.numUnits(); ++u)
+        for (const VertexId v : part.ownedVertices(u)) {
+            EXPECT_EQ(part.ownerUnit(v), u);
+            ++seen[v];
+        }
+    for (const int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(Partition, OwnerNodeConsistentWithUnit)
+{
+    const Graph g = gen::erdosRenyi(512, 2048, 1);
+    const Partition part(g, 3, 2);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(part.ownerNode(v), part.ownerUnit(v) / 2);
+        EXPECT_EQ(part.ownerSocket(v), part.ownerUnit(v) % 2);
+        EXPECT_LT(part.ownerNode(v), 3u);
+    }
+}
+
+TEST(Partition, RoughlyBalanced)
+{
+    const Graph g = gen::erdosRenyi(8000, 32000, 2);
+    const Partition part(g, 8, 1);
+    for (NodeId n = 0; n < 8; ++n) {
+        const double share = static_cast<double>(part.nodeVertexCount(n))
+            / g.numVertices();
+        EXPECT_NEAR(share, 1.0 / 8, 0.03);
+    }
+}
+
+TEST(Partition, ResidentBytesSumsOwnedLists)
+{
+    const Graph g = gen::cycle(10);
+    const Partition part(g, 2, 1);
+    const std::uint64_t total = part.nodeResidentBytes(0)
+        + part.nodeResidentBytes(1);
+    // Every vertex has degree 2: 8 bytes of payload + 8 of metadata.
+    EXPECT_EQ(total, 10u * (2 * sizeof(VertexId) + sizeof(EdgeId)));
+}
+
+TEST(Datasets, KnownNamesGenerate)
+{
+    for (const char *name : {"mc", "pt", "lj"}) {
+        const auto &dataset = datasets::byName(name);
+        EXPECT_EQ(dataset.abbr, name);
+        EXPECT_GT(dataset.graph.numEdges(), 1000u);
+    }
+}
+
+TEST(Datasets, MemoizesGeneration)
+{
+    const auto &a = datasets::byName("mc");
+    const auto &b = datasets::byName("mc");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Datasets, UnknownNameRejected)
+{
+    EXPECT_THROW(datasets::byName("nope"), FatalError);
+}
+
+TEST(Datasets, PatentsStandInIsLessSkewedThanLiveJournal)
+{
+    const auto &pt = datasets::byName("pt");
+    const auto &lj = datasets::byName("lj");
+    const double pt_skew = static_cast<double>(pt.graph.maxDegree())
+        / (2.0 * pt.graph.numEdges() / pt.graph.numVertices());
+    const double lj_skew = static_cast<double>(lj.graph.maxDegree())
+        / (2.0 * lj.graph.numEdges() / lj.graph.numVertices());
+    EXPECT_LT(pt_skew * 5, lj_skew);
+}
+
+} // namespace
+} // namespace khuzdul

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Parameterized property sweeps (TEST_P): exact-count invariance of
+ * the distributed engine across the full configuration lattice
+ * (cluster shape x chunk budget x cache policy x sharing switches),
+ * cross-engine agreement over a pattern zoo, and plan-compiler
+ * invariants over random patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/engine.hh"
+#include "engines/graphpi_rep.hh"
+#include "engines/gthinker.hh"
+#include "engines/khuzdul_system.hh"
+#include "engines/move_computation.hh"
+#include "engines/single_machine.hh"
+#include "graph/generators.hh"
+#include "pattern/bruteforce.hh"
+#include "pattern/isomorphism.hh"
+#include "pattern/planner.hh"
+#include "support/rng.hh"
+
+namespace khuzdul
+{
+namespace
+{
+
+const Graph &
+sweepGraph()
+{
+    static const Graph g = gen::rmat(220, 1500, 0.55, 0.2, 0.2, 4242);
+    return g;
+}
+
+Count
+oracle(const Pattern &p)
+{
+    static std::map<std::string, Count> memo;
+    const std::string key = p.toString();
+    auto it = memo.find(key);
+    if (it == memo.end())
+        it = memo.emplace(key,
+                          brute::countEmbeddings(sweepGraph(), p,
+                                                 false)).first;
+    return it->second;
+}
+
+/** (nodes, sockets, chunkBytes, policy, hds, numa) */
+using EngineAxis =
+    std::tuple<NodeId, unsigned, std::uint64_t, core::CachePolicy,
+               bool, bool>;
+
+class EngineConfigSweep : public testing::TestWithParam<EngineAxis>
+{
+};
+
+TEST_P(EngineConfigSweep, CountsAreConfigurationInvariant)
+{
+    const auto [nodes, sockets, chunk, policy, hds, numa] = GetParam();
+    core::EngineConfig config;
+    config.cluster = sim::ClusterConfig::paperDefault(nodes);
+    config.cluster.socketsPerNode = sockets;
+    config.cluster.commCoresPerNode = 2;
+    config.chunkBytes = chunk;
+    config.cachePolicy = policy;
+    config.horizontalSharing = hds;
+    config.numaAware = numa;
+    config.cacheDegreeThreshold = 8;
+    core::Engine engine(sweepGraph(), config);
+    for (const Pattern &p :
+         {Pattern::triangle(), Pattern::clique(4), Pattern::diamond()}) {
+        const auto plan = compileAutomine(p, {});
+        EXPECT_EQ(engine.run(plan), oracle(p)) << p.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClusterShapes, EngineConfigSweep,
+    testing::Combine(
+        testing::Values<NodeId>(1, 2, 5, 8),
+        testing::Values<unsigned>(1, 2),
+        testing::Values<std::uint64_t>(2 << 10, 1 << 20),
+        testing::Values(core::CachePolicy::Static),
+        testing::Values(true),
+        testing::Values(true, false)));
+
+INSTANTIATE_TEST_SUITE_P(
+    CacheAndSharing, EngineConfigSweep,
+    testing::Combine(
+        testing::Values<NodeId>(4),
+        testing::Values<unsigned>(2),
+        testing::Values<std::uint64_t>(8 << 10),
+        testing::Values(core::CachePolicy::None,
+                        core::CachePolicy::Static,
+                        core::CachePolicy::Fifo,
+                        core::CachePolicy::Lifo,
+                        core::CachePolicy::Lru,
+                        core::CachePolicy::Mru),
+        testing::Values(true, false),
+        testing::Values(true)));
+
+/** Every engine in the repository agrees on every zoo pattern. */
+class EngineZoo : public testing::TestWithParam<int>
+{
+  public:
+    static std::vector<Pattern>
+    zoo()
+    {
+        return {Pattern::triangle(),       Pattern::clique(4),
+                Pattern::clique(5),        Pattern::pathOf(4),
+                Pattern::cycleOf(4),       Pattern::cycleOf(5),
+                Pattern::starOf(4),        Pattern::tailedTriangle(),
+                Pattern::diamond()};
+    }
+};
+
+TEST_P(EngineZoo, AllEnginesAgree)
+{
+    const Pattern p = zoo()[GetParam()];
+    const Graph &g = sweepGraph();
+    const Count expected = oracle(p);
+
+    core::EngineConfig config;
+    config.cluster = sim::ClusterConfig::paperDefault(3);
+    config.chunkBytes = 16 << 10;
+    auto automine = engines::KhuzdulSystem::kAutomine(g, config);
+    EXPECT_EQ(automine->count(p), expected) << "k-Automine";
+    auto graphpi = engines::KhuzdulSystem::kGraphPi(g, config);
+    EXPECT_EQ(graphpi->count(p), expected) << "k-GraphPi";
+
+    engines::GraphPiRepConfig rep_config;
+    rep_config.cluster = sim::ClusterConfig::paperDefault(3);
+    engines::GraphPiRepEngine rep(g, rep_config);
+    EXPECT_EQ(rep.count(p).count, expected) << "GraphPi(rep)";
+
+    engines::GThinkerConfig gt_config;
+    gt_config.cluster = sim::ClusterConfig::singleSocket(3);
+    engines::GThinkerEngine gthinker(g, gt_config);
+    EXPECT_EQ(gthinker.count(p).count, expected) << "G-thinker";
+
+    engines::MoveComputationConfig mc_config;
+    mc_config.cluster = sim::ClusterConfig::paperDefault(3);
+    engines::MoveComputationEngine mover(g, mc_config);
+    EXPECT_EQ(mover.count(p).count, expected) << "aDFS-like";
+
+    engines::SingleMachineConfig sm_config;
+    for (const auto style :
+         {engines::SingleMachineStyle::AutomineIH,
+          engines::SingleMachineStyle::PeregrineLike,
+          engines::SingleMachineStyle::PangolinLike}) {
+        engines::SingleMachineEngine sm(g, style, sm_config);
+        EXPECT_EQ(sm.count(p).count, expected)
+            << "single-machine style "
+            << static_cast<int>(style);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PatternZoo, EngineZoo,
+                         testing::Range(0, 9));
+
+/** Random-pattern plan-compiler invariants. */
+class RandomPatternPlans : public testing::TestWithParam<int>
+{
+  public:
+    static Pattern
+    randomConnectedPattern(std::uint64_t seed)
+    {
+        Rng rng(seed);
+        const int n = 3 + static_cast<int>(rng.nextBounded(3));
+        while (true) {
+            Pattern p(n);
+            for (int u = 0; u < n; ++u)
+                for (int v = u + 1; v < n; ++v)
+                    if (rng.coin(0.55))
+                        p.addEdge(u, v);
+            if (p.connected())
+                return p;
+        }
+    }
+};
+
+TEST_P(RandomPatternPlans, CompilersAgreeWithOracle)
+{
+    const Pattern p = randomConnectedPattern(9000 + GetParam());
+    const Graph &g = sweepGraph();
+    const Count expected = oracle(p);
+    const GraphProfile profile = GraphProfile::fromGraph(g);
+
+    const auto automine_plan = compileAutomine(p, {});
+    EXPECT_EQ(core::countWithPlan(g, automine_plan), expected)
+        << p.toString();
+    const auto graphpi_plan = compileGraphPi(p, profile, {});
+    EXPECT_EQ(core::countWithPlan(g, graphpi_plan), expected)
+        << p.toString();
+}
+
+TEST_P(RandomPatternPlans, RestrictionCountTimesAutEqualsOrdered)
+{
+    // The fundamental symmetry-breaking identity: restricted count
+    // x |Aut| == unrestricted ordered count.
+    const Pattern p = randomConnectedPattern(7000 + GetParam());
+    const Graph &g = sweepGraph();
+
+    PlanOptions no_breaking;
+    no_breaking.symmetryBreaking = false;
+    no_breaking.useIep = false;
+    const auto free_plan = compileAutomine(p, no_breaking);
+    std::vector<VertexId> roots(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        roots[v] = v;
+    const auto free_run = core::runPlanDfs(g, free_plan, roots);
+
+    const auto strict_plan = compileAutomine(p, {});
+    const auto strict_run = core::runPlanDfs(g, strict_plan, roots);
+
+    const auto aut = static_cast<std::int64_t>(
+        iso::automorphisms(p).size());
+    EXPECT_EQ(strict_run.rawCount * aut, free_run.rawCount)
+        << p.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPatternPlans,
+                         testing::Range(0, 12));
+
+} // namespace
+} // namespace khuzdul

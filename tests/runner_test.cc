@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the DFS plan runner and the brute-force oracle itself:
+ * closed-form counts on structured graphs, visitor semantics, and
+ * work accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/plan_runner.hh"
+#include "graph/generators.hh"
+#include "pattern/bruteforce.hh"
+#include "pattern/planner.hh"
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace
+{
+
+Count
+binomial(Count n, Count k)
+{
+    if (k > n)
+        return 0;
+    Count result = 1;
+    for (Count i = 0; i < k; ++i)
+        result = result * (n - i) / (i + 1);
+    return result;
+}
+
+TEST(BruteForce, TrianglesInCompleteGraph)
+{
+    const Graph g = gen::complete(7);
+    EXPECT_EQ(brute::countEmbeddings(g, Pattern::triangle(), false),
+              binomial(7, 3));
+}
+
+TEST(BruteForce, CliquesInCompleteGraph)
+{
+    const Graph g = gen::complete(8);
+    EXPECT_EQ(brute::countEmbeddings(g, Pattern::clique(4), false),
+              binomial(8, 4));
+    EXPECT_EQ(brute::countEmbeddings(g, Pattern::clique(5), false),
+              binomial(8, 5));
+}
+
+TEST(BruteForce, NoTrianglesInCycle)
+{
+    const Graph g = gen::cycle(10);
+    EXPECT_EQ(brute::countEmbeddings(g, Pattern::triangle(), false), 0u);
+    // A C10 contains exactly one embedding of C10.
+    EXPECT_EQ(brute::countEmbeddings(g, Pattern::cycleOf(5), false), 0u);
+}
+
+TEST(BruteForce, WedgesInStar)
+{
+    const Graph g = gen::star(6); // hub + 5 leaves
+    EXPECT_EQ(brute::countEmbeddings(g, Pattern::pathOf(3), false),
+              binomial(5, 2));
+}
+
+TEST(BruteForce, PathsInPath)
+{
+    const Graph g = gen::path(10);
+    EXPECT_EQ(brute::countEmbeddings(g, Pattern::pathOf(4), false), 7u);
+}
+
+TEST(BruteForce, InducedVersusNonInduced)
+{
+    const Graph g = gen::complete(5);
+    // K5 has C(5,3) triangles but no induced wedge.
+    EXPECT_EQ(brute::countEmbeddings(g, Pattern::pathOf(3), true), 0u);
+    EXPECT_GT(brute::countEmbeddings(g, Pattern::pathOf(3), false), 0u);
+}
+
+TEST(BruteForce, LabeledMatchRespectsLabels)
+{
+    Graph g = gen::cycle(4);
+    g.setLabels({0, 1, 0, 1});
+    Pattern edge01(2, {{0, 1}});
+    edge01.setLabel(0, 0);
+    edge01.setLabel(1, 1);
+    EXPECT_EQ(brute::countEmbeddings(g, edge01, false), 4u);
+    Pattern edge00(2, {{0, 1}});
+    edge00.setLabel(0, 0);
+    edge00.setLabel(1, 0);
+    EXPECT_EQ(brute::countEmbeddings(g, edge00, false), 0u);
+}
+
+TEST(Runner, MatchesClosedFormsOnStructuredGraphs)
+{
+    const Graph k8 = gen::complete(8);
+    for (int k = 3; k <= 5; ++k) {
+        const auto plan = compileAutomine(Pattern::clique(k), {});
+        EXPECT_EQ(core::countWithPlan(k8, plan), binomial(8, k));
+    }
+    const Graph c12 = gen::cycle(12);
+    const auto cycle_plan = compileAutomine(Pattern::cycleOf(4), {});
+    EXPECT_EQ(core::countWithPlan(c12, cycle_plan), 0u);
+    const Graph grid = gen::grid(4, 5);
+    // Each unit square of the grid is a 4-cycle: 3x4 squares.
+    EXPECT_EQ(core::countWithPlan(grid, cycle_plan), 12u);
+}
+
+TEST(Runner, SingleVertexAndEdgePatterns)
+{
+    const Graph g = gen::rmat(100, 300, 0.5, 0.2, 0.2, 9);
+    const auto v_plan = compileAutomine(Pattern(1), {});
+    EXPECT_EQ(core::countWithPlan(g, v_plan), g.numVertices());
+    const auto e_plan = compileAutomine(Pattern::pathOf(2), {});
+    EXPECT_EQ(core::countWithPlan(g, e_plan), g.numEdges());
+}
+
+TEST(Runner, VisitorSeesEveryEmbeddingOnce)
+{
+    const Graph g = gen::complete(6);
+    const auto plan = compileAutomine(Pattern::triangle(), {});
+    std::set<std::set<VertexId>> seen;
+    class Collect : public core::MatchVisitor
+    {
+      public:
+        explicit Collect(std::set<std::set<VertexId>> &out) : out_(out) {}
+        void
+        match(std::span<const VertexId> positions) override
+        {
+            std::set<VertexId> key(positions.begin(), positions.end());
+            EXPECT_EQ(key.size(), positions.size()) << "repeated vertex";
+            EXPECT_TRUE(out_.insert(key).second) << "duplicate embedding";
+        }
+
+      private:
+        std::set<std::set<VertexId>> &out_;
+    } collector(seen);
+    std::vector<VertexId> roots(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        roots[v] = v;
+    core::runPlanDfs(g, plan, roots, &collector);
+    EXPECT_EQ(seen.size(), 20u); // C(6,3)
+}
+
+TEST(Runner, VisitorRejectsIepPlans)
+{
+    const Graph g = gen::complete(5);
+    GraphProfile profile{5.0, 4.0};
+    const auto plan = compileGraphPi(Pattern::triangle(), profile, {});
+    ASSERT_TRUE(plan.hasIep);
+    class Nop : public core::MatchVisitor
+    {
+        void match(std::span<const VertexId>) override {}
+    } visitor;
+    std::vector<VertexId> roots{0};
+    EXPECT_THROW(core::runPlanDfs(g, plan, roots, &visitor), FatalError);
+}
+
+TEST(Runner, WorkCountersArePopulated)
+{
+    const Graph g = gen::rmat(300, 2400, 0.55, 0.2, 0.2, 4);
+    const auto plan = compileAutomine(Pattern::clique(4), {});
+    std::vector<VertexId> roots(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        roots[v] = v;
+    const auto result = core::runPlanDfs(g, plan, roots);
+    EXPECT_GT(result.workItems, 0u);
+    EXPECT_GT(result.candidatesChecked, 0u);
+    EXPECT_GT(result.embeddingsVisited, g.numVertices());
+}
+
+TEST(Runner, HooksObserveEdgeListAccesses)
+{
+    const Graph g = gen::complete(5);
+    const auto plan = compileAutomine(Pattern::triangle(), {});
+    class CountAccess : public core::RunnerHooks
+    {
+      public:
+        Count accesses = 0;
+        void onEdgeListAccess(VertexId) override { ++accesses; }
+    } hooks;
+    std::vector<VertexId> roots(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        roots[v] = v;
+    core::runPlanDfs(g, plan, roots, nullptr, &hooks);
+    EXPECT_GT(hooks.accesses, 0u);
+}
+
+TEST(Runner, PartialRootsCoverSubsetOfTrees)
+{
+    const Graph g = gen::complete(6);
+    const auto plan = compileAutomine(Pattern::triangle(), {});
+    // Restrictions force v0 < v1 < v2, so trees rooted at the three
+    // smallest vertices contain all triangles of {0..3}.
+    std::vector<VertexId> all(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        all[v] = v;
+    const auto full = core::runPlanDfs(g, plan, all);
+    std::vector<VertexId> half{0, 1, 2};
+    const auto partial = core::runPlanDfs(g, plan, half);
+    EXPECT_LT(partial.rawCount, full.rawCount);
+    EXPECT_GT(partial.rawCount, 0);
+}
+
+} // namespace
+} // namespace khuzdul

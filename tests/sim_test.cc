@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: cost model arithmetic,
+ * cluster configuration, the fabric's traffic ledger and fault
+ * injection, and RunStats aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hh"
+#include "graph/partition.hh"
+#include "sim/cluster.hh"
+#include "sim/cost_model.hh"
+#include "sim/fabric.hh"
+#include "sim/stats.hh"
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace
+{
+
+TEST(CostModel, TransferTimeScalesWithBytes)
+{
+    sim::CostModel cost;
+    const double small = cost.transferNs(1024, 1);
+    const double large = cost.transferNs(1024 * 1024, 1);
+    EXPECT_GT(large, small);
+    EXPECT_GT(small, cost.netLatencyNs); // latency floor
+}
+
+TEST(CostModel, NumaTransferIsCheaperThanNetwork)
+{
+    sim::CostModel cost;
+    EXPECT_LT(cost.numaTransferNs(64 << 10, 16),
+              cost.transferNs(64 << 10, 16));
+}
+
+TEST(ClusterConfig, CoreAccounting)
+{
+    sim::ClusterConfig config = sim::ClusterConfig::paperDefault();
+    EXPECT_EQ(config.coresPerNode(), 16u);
+    EXPECT_EQ(config.computeCoresPerNode(), 12u);
+    sim::ClusterConfig large = sim::ClusterConfig::largeCluster();
+    EXPECT_EQ(large.numNodes, 18u);
+    EXPECT_EQ(large.coresPerNode(), 32u);
+}
+
+TEST(ClusterConfig, RejectsAllCommCores)
+{
+    sim::ClusterConfig config;
+    config.socketsPerNode = 1;
+    config.coresPerSocket = 2;
+    config.commCoresPerNode = 2;
+    EXPECT_THROW(config.computeCoresPerNode(), FatalError);
+}
+
+TEST(Fabric, LedgerTracksPerLinkTraffic)
+{
+    const Graph g = gen::cycle(64);
+    const Partition partition(g, 4, 1);
+    sim::CostModel cost;
+    sim::Fabric fabric(partition, cost);
+
+    fabric.recordTransfer(0, 1, 1000, 2);
+    fabric.recordTransfer(0, 1, 500, 1);
+    fabric.recordTransfer(2, 3, 99, 1);
+    EXPECT_EQ(fabric.linkBytes(0, 1), 1500u);
+    EXPECT_EQ(fabric.linkMessages(0, 1), 2u);
+    EXPECT_EQ(fabric.linkBytes(1, 0), 0u);
+    EXPECT_EQ(fabric.totalBytes(), 1599u);
+}
+
+TEST(Fabric, SameNodeTransfersAreNotNetworkTraffic)
+{
+    const Graph g = gen::cycle(64);
+    const Partition partition(g, 2, 2);
+    sim::CostModel cost;
+    sim::Fabric fabric(partition, cost);
+    const double numa_time = fabric.recordTransfer(1, 1, 4096, 4);
+    EXPECT_EQ(fabric.totalBytes(), 0u);
+    EXPECT_GT(numa_time, 0.0);
+    EXPECT_LT(numa_time, fabric.recordTransfer(1, 0, 4096, 4));
+}
+
+TEST(Fabric, ByteCapInjectsFailure)
+{
+    const Graph g = gen::cycle(64);
+    const Partition partition(g, 2, 1);
+    sim::CostModel cost;
+    sim::Fabric fabric(partition, cost);
+    fabric.setByteCap(1000);
+    fabric.recordTransfer(0, 1, 900, 1);
+    EXPECT_THROW(fabric.recordTransfer(0, 1, 200, 1), FatalError);
+}
+
+TEST(Fabric, ResetClearsLedger)
+{
+    const Graph g = gen::cycle(64);
+    const Partition partition(g, 2, 1);
+    sim::CostModel cost;
+    sim::Fabric fabric(partition, cost);
+    fabric.recordTransfer(0, 1, 4096, 4);
+    fabric.reset();
+    EXPECT_EQ(fabric.totalBytes(), 0u);
+    EXPECT_EQ(fabric.linkMessages(0, 1), 0u);
+}
+
+TEST(RunStats, MakespanIsSlowestNodePlusStartup)
+{
+    sim::RunStats stats;
+    stats.nodes.resize(3);
+    stats.nodes[0].computeNs = 100;
+    stats.nodes[1].computeNs = 60;
+    stats.nodes[1].commExposedNs = 90;
+    stats.nodes[2].schedulerNs = 20;
+    stats.startupNs = 5;
+    EXPECT_DOUBLE_EQ(stats.makespanNs(), 155.0);
+}
+
+TEST(RunStats, AccumulateMergesFieldwise)
+{
+    sim::RunStats a;
+    a.nodes.resize(2);
+    a.nodes[0].computeNs = 10;
+    a.nodes[0].bytesSent = 100;
+    a.nodes[1].peakChunkBytes = 50;
+    sim::RunStats b;
+    b.nodes.resize(2);
+    b.nodes[0].computeNs = 5;
+    b.nodes[0].bytesSent = 11;
+    b.nodes[1].peakChunkBytes = 80;
+    b.startupNs = 7;
+    a.accumulate(b);
+    EXPECT_DOUBLE_EQ(a.nodes[0].computeNs, 15.0);
+    EXPECT_EQ(a.nodes[0].bytesSent, 111u);
+    EXPECT_EQ(a.nodes[1].peakChunkBytes, 80u); // max, not sum
+    EXPECT_DOUBLE_EQ(a.startupNs, 7.0);
+}
+
+TEST(RunStats, HitRateAndUtilization)
+{
+    sim::RunStats stats;
+    stats.nodes.resize(2);
+    stats.nodes[0].staticCacheHits = 30;
+    stats.nodes[0].staticCacheMisses = 10;
+    stats.nodes[1].staticCacheMisses = 10;
+    EXPECT_DOUBLE_EQ(stats.staticCacheHitRate(), 0.6);
+
+    stats.nodes[0].computeNs = 1000;
+    stats.nodes[0].bytesSent = 3500;
+    // busiest node sends 3500B over 1000ns at 7B/ns capacity: 50%.
+    EXPECT_NEAR(stats.networkUtilization(7.0), 0.5, 1e-9);
+}
+
+TEST(RunStats, EmptyStatsAreSafe)
+{
+    sim::RunStats stats;
+    EXPECT_DOUBLE_EQ(stats.makespanNs(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.staticCacheHitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.networkUtilization(7.0), 0.0);
+    EXPECT_FALSE(stats.summary().empty());
+}
+
+} // namespace
+} // namespace khuzdul

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the support module: deterministic RNG, formatting
+ * helpers and the error-handling macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/check.hh"
+#include "support/format.hh"
+#include "support/rng.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace
+{
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(11);
+    std::array<int, 8> histogram{};
+    for (int i = 0; i < 8000; ++i)
+        ++histogram[rng.nextBounded(8)];
+    for (const int count : histogram)
+        EXPECT_GT(count, 700); // near-uniform
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, Mix64IsStateless)
+{
+    EXPECT_EQ(mix64(123), mix64(123));
+    EXPECT_NE(mix64(123), mix64(124));
+}
+
+TEST(Format, Time)
+{
+    EXPECT_EQ(formatTime(500), "500ns");
+    EXPECT_EQ(formatTime(35'300'000), "35.3ms");
+    EXPECT_EQ(formatTime(2'200'000'000ULL), "2.2s");
+    EXPECT_EQ(formatTime(4'000'000'000'000ULL), "1.1h");
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(33ull << 30), "33.0GB");
+    EXPECT_EQ(formatBytes(5ull << 40), "5.0TB");
+}
+
+TEST(Format, Count)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+}
+
+TEST(Format, RatioAndPercent)
+{
+    EXPECT_EQ(formatRatio(75.5), "75.5x");
+    EXPECT_EQ(formatRatio(123.4), "123x");
+    EXPECT_EQ(formatPercent(0.93), "93.0%");
+}
+
+TEST(Format, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcdef", 4), "abcdef");
+}
+
+TEST(Check, PanicThrowsLogicError)
+{
+    EXPECT_THROW(KHUZDUL_PANIC("boom"), PanicError);
+}
+
+TEST(Check, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(KHUZDUL_FATAL("bad input"), FatalError);
+}
+
+TEST(Check, CheckPassesAndFails)
+{
+    EXPECT_NO_THROW(KHUZDUL_CHECK(1 + 1 == 2, "fine"));
+    EXPECT_THROW(KHUZDUL_CHECK(1 + 1 == 3, "broken"), PanicError);
+}
+
+TEST(Check, RequireReportsMessage)
+{
+    try {
+        KHUZDUL_REQUIRE(false, "value was " << 42);
+        FAIL() << "should have thrown";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 42"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace khuzdul

@@ -1,0 +1,467 @@
+/**
+ * @file
+ * The `khuzdul` command-line tool: generate / inspect / convert
+ * graphs, compile and inspect plans, and run the GPM applications
+ * on the simulated cluster without writing any C++.
+ *
+ * Subcommands:
+ *   generate  synthesize a graph to an edge-list or binary file
+ *   info      print graph statistics
+ *   convert   edge-list <-> binary
+ *   plan      show the compiled EXTEND plan of a pattern
+ *   count     count a pattern's embeddings
+ *   motifs    k-motif census
+ *   fsm       frequent subgraph mining on a labeled graph
+ *
+ * Run `khuzdul help` or `khuzdul help <subcommand>` for usage.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/fsm.hh"
+#include "apps/gpm_apps.hh"
+#include "engines/khuzdul_system.hh"
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+#include "graph/io.hh"
+#include "graph/orientation.hh"
+#include "pattern/planner.hh"
+#include "support/check.hh"
+#include "support/format.hh"
+#include "support/timer.hh"
+
+namespace
+{
+
+using namespace khuzdul;
+
+/** Minimal --key value / --flag argument map. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                KHUZDUL_FATAL("unexpected argument '" << key
+                              << "' (options start with --)");
+            key = key.substr(2);
+            if (i + 1 < argc
+                && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "";
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return values_.count(key); }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    std::uint64_t
+    getU64(const std::string &key, std::uint64_t fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end()
+            ? fallback : std::stoull(it->second);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stod(it->second);
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+/**
+ * Parse a pattern spec: named patterns ("triangle", "clique4",
+ * "path3", "cycle5", "star4", "diamond", "tailed", "house") or an
+ * explicit edge list like "0-1,1-2,2-0".
+ */
+Pattern
+parsePattern(const std::string &spec)
+{
+    const auto sized = [&spec](const std::string &prefix) -> int {
+        if (spec.rfind(prefix, 0) != 0)
+            return -1;
+        return std::atoi(spec.c_str() + prefix.size());
+    };
+    if (spec == "triangle")
+        return Pattern::triangle();
+    if (spec == "diamond")
+        return Pattern::diamond();
+    if (spec == "tailed")
+        return Pattern::tailedTriangle();
+    if (spec == "house") {
+        return Pattern(5, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4},
+                           {1, 4}});
+    }
+    if (int k = sized("clique"); k > 0)
+        return Pattern::clique(k);
+    if (int k = sized("path"); k > 0)
+        return Pattern::pathOf(k);
+    if (int k = sized("cycle"); k > 0)
+        return Pattern::cycleOf(k);
+    if (int k = sized("star"); k > 0)
+        return Pattern::starOf(k);
+
+    // Edge-list form: "0-1,1-2,...".
+    std::vector<std::pair<int, int>> edges;
+    int max_vertex = -1;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        int u = 0;
+        int v = 0;
+        if (std::sscanf(spec.c_str() + pos, "%d-%d", &u, &v) != 2)
+            KHUZDUL_FATAL("cannot parse pattern spec '" << spec << "'");
+        edges.emplace_back(u, v);
+        max_vertex = std::max({max_vertex, u, v});
+        pos = spec.find(',', pos);
+        if (pos == std::string::npos)
+            break;
+        ++pos;
+    }
+    KHUZDUL_REQUIRE(!edges.empty(), "empty pattern spec");
+    return Pattern(max_vertex + 1, edges);
+}
+
+/**
+ * Load a graph.  Accepted forms:
+ *  - "standin:<abbr>"   one of the paper's stand-in datasets
+ *  - "rmat:V:E[:a[:seed]]", "er:V:E[:seed]", "sw:V:k:beta[:seed]"
+ *  - a file path (binary if it has the Khuzdul magic, else text)
+ */
+Graph
+loadGraph(const std::string &spec)
+{
+    const auto split = [](const std::string &s) {
+        std::vector<std::string> parts;
+        std::size_t start = 0;
+        while (true) {
+            const std::size_t colon = s.find(':', start);
+            parts.push_back(s.substr(start, colon - start));
+            if (colon == std::string::npos)
+                break;
+            start = colon + 1;
+        }
+        return parts;
+    };
+    const auto parts = split(spec);
+    const std::string &kind = parts[0];
+    if (kind == "standin") {
+        KHUZDUL_REQUIRE(parts.size() == 2, "standin:<abbr>");
+        return datasets::byName(parts[1]).graph;
+    }
+    if (kind == "rmat") {
+        KHUZDUL_REQUIRE(parts.size() >= 3, "rmat:V:E[:a[:seed]]");
+        const auto v = std::stoull(parts[1]);
+        const auto e = std::stoull(parts[2]);
+        const double a = parts.size() > 3 ? std::stod(parts[3]) : 0.55;
+        const auto seed = parts.size() > 4 ? std::stoull(parts[4]) : 1;
+        const double rest = (1.0 - a) / 3.0;
+        return gen::rmat(static_cast<VertexId>(v), e, a, rest, rest,
+                         seed);
+    }
+    if (kind == "er") {
+        KHUZDUL_REQUIRE(parts.size() >= 3, "er:V:E[:seed]");
+        return gen::erdosRenyi(
+            static_cast<VertexId>(std::stoull(parts[1])),
+            std::stoull(parts[2]),
+            parts.size() > 3 ? std::stoull(parts[3]) : 1);
+    }
+    if (kind == "sw") {
+        KHUZDUL_REQUIRE(parts.size() >= 4, "sw:V:k:beta[:seed]");
+        return gen::smallWorld(
+            static_cast<VertexId>(std::stoull(parts[1])),
+            static_cast<unsigned>(std::stoull(parts[2])),
+            std::stod(parts[3]),
+            parts.size() > 4 ? std::stoull(parts[4]) : 1);
+    }
+    // A file: sniff the binary magic.
+    std::ifstream in(spec, std::ios::binary);
+    KHUZDUL_REQUIRE(in.is_open(), "cannot open graph file " << spec);
+    char magic[8] = {};
+    in.read(magic, 8);
+    in.clear();
+    in.seekg(0);
+    std::uint64_t head = 0;
+    std::memcpy(&head, magic, sizeof(head));
+    if (head == 0x4b48555a44554c31ULL) // the binary format magic
+        return io::readBinary(in);
+    return io::readEdgeList(in);
+}
+
+core::EngineConfig
+engineConfigFromArgs(const Args &args)
+{
+    core::EngineConfig config;
+    config.cluster = sim::ClusterConfig::paperDefault(
+        static_cast<NodeId>(args.getU64("nodes", 8)));
+    config.cluster.socketsPerNode =
+        static_cast<unsigned>(args.getU64("sockets", 2));
+    config.chunkBytes = args.getU64("chunk-bytes", 1 << 20);
+    config.cacheFraction = args.getDouble("cache-fraction", 0.15);
+    if (args.has("no-cache"))
+        config.cachePolicy = core::CachePolicy::None;
+    if (args.has("no-hds"))
+        config.horizontalSharing = false;
+    if (args.has("no-numa"))
+        config.numaAware = false;
+    return config;
+}
+
+std::unique_ptr<engines::KhuzdulSystem>
+systemFromArgs(const Graph &g, const Args &args)
+{
+    const std::string style = args.get("system", "graphpi");
+    if (style == "automine")
+        return engines::KhuzdulSystem::kAutomine(
+            g, engineConfigFromArgs(args));
+    KHUZDUL_REQUIRE(style == "graphpi",
+                    "--system must be automine or graphpi");
+    return engines::KhuzdulSystem::kGraphPi(g,
+                                            engineConfigFromArgs(args));
+}
+
+void
+printStats(const sim::RunStats &stats)
+{
+    std::printf("modeled cluster time: %s\n",
+                formatTime(static_cast<std::uint64_t>(
+                    stats.makespanNs())).c_str());
+    std::printf("network traffic:      %s in %s messages\n",
+                formatBytes(stats.totalBytesSent()).c_str(),
+                formatCount(stats.totalMessages()).c_str());
+    if (stats.staticCacheHitRate() > 0)
+        std::printf("static cache hits:    %s\n",
+                    formatPercent(stats.staticCacheHitRate()).c_str());
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    const Graph g = loadGraph(args.get("spec", "rmat:10000:80000"));
+    const std::string out = args.get("out", "graph.el");
+    std::ofstream file(out, std::ios::binary);
+    KHUZDUL_REQUIRE(file.is_open(), "cannot write " << out);
+    if (args.get("format", "text") == "binary")
+        io::writeBinary(g, file);
+    else
+        io::writeEdgeList(g, file);
+    std::printf("wrote %u vertices / %llu edges to %s\n",
+                g.numVertices(),
+                static_cast<unsigned long long>(g.numEdges()),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdInfo(const Args &args)
+{
+    const Graph g = loadGraph(args.get("graph", ""));
+    std::printf("vertices:    %s\n",
+                formatCount(g.numVertices()).c_str());
+    std::printf("edges:       %s\n", formatCount(g.numEdges()).c_str());
+    std::printf("max degree:  %s\n",
+                formatCount(g.maxDegree()).c_str());
+    std::printf("avg degree:  %.2f\n",
+                g.numVertices() == 0
+                    ? 0.0
+                    : static_cast<double>(g.numArcs())
+                        / g.numVertices());
+    std::printf("size:        %s\n", formatBytes(g.sizeBytes()).c_str());
+    std::printf("labeled:     %s\n", g.labeled() ? "yes" : "no");
+    // Log-scale degree histogram.
+    std::map<int, Count> histogram;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        int bucket = 0;
+        while ((1ull << bucket) < g.degree(v))
+            ++bucket;
+        ++histogram[bucket];
+    }
+    std::printf("degree histogram (bucket = degree <= 2^k):\n");
+    for (const auto &[bucket, count] : histogram)
+        std::printf("  2^%-2d %10s\n", bucket,
+                    formatCount(count).c_str());
+    return 0;
+}
+
+int
+cmdConvert(const Args &args)
+{
+    const Graph g = loadGraph(args.get("in", ""));
+    const std::string out = args.get("out", "");
+    KHUZDUL_REQUIRE(!out.empty(), "--out is required");
+    std::ofstream file(out, std::ios::binary);
+    KHUZDUL_REQUIRE(file.is_open(), "cannot write " << out);
+    if (args.get("format", "binary") == "binary")
+        io::writeBinary(g, file);
+    else
+        io::writeEdgeList(g, file);
+    std::printf("converted to %s\n", out.c_str());
+    return 0;
+}
+
+int
+cmdPlan(const Args &args)
+{
+    const Pattern p = parsePattern(args.get("pattern", "triangle"));
+    PlanOptions options;
+    options.induced = args.has("induced");
+    const GraphProfile profile{
+        args.getDouble("profile-vertices", 100000.0),
+        args.getDouble("profile-degree", 16.0)};
+    if (args.get("system", "graphpi") == "automine") {
+        std::printf("%s", compileAutomine(p, options).toString().c_str());
+    } else {
+        std::printf("%s",
+                    compileGraphPi(p, profile, options)
+                        .toString().c_str());
+    }
+    return 0;
+}
+
+int
+cmdCount(const Args &args)
+{
+    const Graph g = loadGraph(args.get("graph", ""));
+    const Pattern p = parsePattern(args.get("pattern", "triangle"));
+    auto system = systemFromArgs(g, args);
+    PlanOptions options;
+    options.induced = args.has("induced");
+    Timer timer;
+    const Count count = system->count(p, options);
+    std::printf("%s embeddings of %s\n", formatCount(count).c_str(),
+                p.toString().c_str());
+    printStats(system->stats());
+    std::printf("host wall time:       %s\n",
+                formatTime(timer.elapsedNs()).c_str());
+    return 0;
+}
+
+int
+cmdMotifs(const Args &args)
+{
+    const Graph g = loadGraph(args.get("graph", ""));
+    auto system = systemFromArgs(g, args);
+    const int k = static_cast<int>(args.getU64("size", 3));
+    const auto census = apps::motifCount(*system, k);
+    for (const auto &motif : census)
+        std::printf("%-28s %16s\n", motif.pattern.toString().c_str(),
+                    formatCount(motif.count).c_str());
+    printStats(system->stats());
+    return 0;
+}
+
+int
+cmdFsm(const Args &args)
+{
+    Graph g = loadGraph(args.get("graph", ""));
+    if (!g.labeled())
+        gen::randomizeLabels(
+            g, static_cast<Label>(args.getU64("labels", 3)),
+            args.getU64("label-seed", 1));
+    auto system = systemFromArgs(g, args);
+    apps::KhuzdulFsmBackend backend(*system);
+    apps::FsmConfig config;
+    config.minSupport = args.getU64("support", 100);
+    config.maxEdges = static_cast<int>(args.getU64("max-edges", 3));
+    const auto result = apps::mineFrequentSubgraphs(backend, g, config);
+    std::printf("%zu frequent patterns (of %s candidates):\n",
+                result.frequent.size(),
+                formatCount(result.patternsEvaluated).c_str());
+    for (const auto &fp : result.frequent)
+        std::printf("%-34s support %12s\n",
+                    fp.pattern.toString().c_str(),
+                    formatCount(fp.support).c_str());
+    printStats(system->stats());
+    return 0;
+}
+
+int
+cmdHelp(const std::string &topic)
+{
+    if (topic == "generate") {
+        std::puts("khuzdul generate --spec <graph-spec> --out FILE "
+                  "[--format text|binary]");
+    } else if (topic == "count") {
+        std::puts("khuzdul count --graph <graph-spec> --pattern SPEC\n"
+                  "  [--system automine|graphpi] [--induced]\n"
+                  "  [--nodes N] [--sockets S] [--chunk-bytes B]\n"
+                  "  [--cache-fraction F] [--no-cache] [--no-hds] "
+                  "[--no-numa]");
+    } else {
+        std::puts(
+            "khuzdul — distributed graph pattern mining "
+            "(paper reproduction)\n\n"
+            "subcommands:\n"
+            "  generate   synthesize a graph to a file\n"
+            "  info       print graph statistics\n"
+            "  convert    convert between text and binary formats\n"
+            "  plan       show a pattern's compiled EXTEND plan\n"
+            "  count      count embeddings of a pattern\n"
+            "  motifs     k-motif census (induced counts)\n"
+            "  fsm        frequent subgraph mining (MNI support)\n"
+            "  help       this text / help <subcommand>\n\n"
+            "graph specs: a file path, standin:<mc|pt|lj|uk|tw|fr|...>,\n"
+            "  rmat:V:E[:a[:seed]], er:V:E[:seed], sw:V:k:beta[:seed]\n"
+            "pattern specs: triangle, cliqueK, pathK, cycleK, starK,\n"
+            "  diamond, tailed, house, or an edge list like "
+            "0-1,1-2,2-0");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return cmdHelp("");
+    const std::string command = argv[1];
+    try {
+        const Args args(argc, argv, 2);
+        if (command == "generate")
+            return cmdGenerate(args);
+        if (command == "info")
+            return cmdInfo(args);
+        if (command == "convert")
+            return cmdConvert(args);
+        if (command == "plan")
+            return cmdPlan(args);
+        if (command == "count")
+            return cmdCount(args);
+        if (command == "motifs")
+            return cmdMotifs(args);
+        if (command == "fsm")
+            return cmdFsm(args);
+        if (command == "help")
+            return cmdHelp(argc > 2 ? argv[2] : "");
+        std::fprintf(stderr, "unknown subcommand '%s'\n",
+                     command.c_str());
+        cmdHelp("");
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
