@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_adfs.dir/bench_fig10_adfs.cc.o"
+  "CMakeFiles/bench_fig10_adfs.dir/bench_fig10_adfs.cc.o.d"
+  "bench_fig10_adfs"
+  "bench_fig10_adfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_adfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

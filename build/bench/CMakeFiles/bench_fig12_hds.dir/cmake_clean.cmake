@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_hds.dir/bench_fig12_hds.cc.o"
+  "CMakeFiles/bench_fig12_hds.dir/bench_fig12_hds.cc.o.d"
+  "bench_fig12_hds"
+  "bench_fig12_hds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_hds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_internode.dir/bench_fig13_internode.cc.o"
+  "CMakeFiles/bench_fig13_internode.dir/bench_fig13_internode.cc.o.d"
+  "bench_fig13_internode"
+  "bench_fig13_internode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_internode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_intranode.dir/bench_fig14_intranode.cc.o"
+  "CMakeFiles/bench_fig14_intranode.dir/bench_fig14_intranode.cc.o.d"
+  "bench_fig14_intranode"
+  "bench_fig14_intranode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

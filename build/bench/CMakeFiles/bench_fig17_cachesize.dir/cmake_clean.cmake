@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_cachesize.dir/bench_fig17_cachesize.cc.o"
+  "CMakeFiles/bench_fig17_cachesize.dir/bench_fig17_cachesize.cc.o.d"
+  "bench_fig17_cachesize"
+  "bench_fig17_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_chunksize.dir/bench_fig18_chunksize.cc.o"
+  "CMakeFiles/bench_fig18_chunksize.dir/bench_fig18_chunksize.cc.o.d"
+  "bench_fig18_chunksize"
+  "bench_fig18_chunksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_chunksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_netutil.dir/bench_fig19_netutil.cc.o"
+  "CMakeFiles/bench_fig19_netutil.dir/bench_fig19_netutil.cc.o.d"
+  "bench_fig19_netutil"
+  "bench_fig19_netutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_netutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_numa.dir/bench_table7_numa.cc.o"
+  "CMakeFiles/bench_table7_numa.dir/bench_table7_numa.cc.o.d"
+  "bench_table7_numa"
+  "bench_table7_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeled_fsm.dir/labeled_fsm.cpp.o"
+  "CMakeFiles/labeled_fsm.dir/labeled_fsm.cpp.o.d"
+  "labeled_fsm"
+  "labeled_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeled_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

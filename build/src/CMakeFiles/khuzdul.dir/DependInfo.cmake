@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fsm.cc" "src/CMakeFiles/khuzdul.dir/apps/fsm.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/apps/fsm.cc.o.d"
+  "/root/repo/src/apps/gpm_apps.cc" "src/CMakeFiles/khuzdul.dir/apps/gpm_apps.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/apps/gpm_apps.cc.o.d"
+  "/root/repo/src/core/cache.cc" "src/CMakeFiles/khuzdul.dir/core/cache.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/core/cache.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/khuzdul.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/intersect.cc" "src/CMakeFiles/khuzdul.dir/core/intersect.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/core/intersect.cc.o.d"
+  "/root/repo/src/core/plan_runner.cc" "src/CMakeFiles/khuzdul.dir/core/plan_runner.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/core/plan_runner.cc.o.d"
+  "/root/repo/src/engines/graphpi_rep.cc" "src/CMakeFiles/khuzdul.dir/engines/graphpi_rep.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/engines/graphpi_rep.cc.o.d"
+  "/root/repo/src/engines/gthinker.cc" "src/CMakeFiles/khuzdul.dir/engines/gthinker.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/engines/gthinker.cc.o.d"
+  "/root/repo/src/engines/khuzdul_system.cc" "src/CMakeFiles/khuzdul.dir/engines/khuzdul_system.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/engines/khuzdul_system.cc.o.d"
+  "/root/repo/src/engines/move_computation.cc" "src/CMakeFiles/khuzdul.dir/engines/move_computation.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/engines/move_computation.cc.o.d"
+  "/root/repo/src/engines/pattern_oblivious.cc" "src/CMakeFiles/khuzdul.dir/engines/pattern_oblivious.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/engines/pattern_oblivious.cc.o.d"
+  "/root/repo/src/engines/single_machine.cc" "src/CMakeFiles/khuzdul.dir/engines/single_machine.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/engines/single_machine.cc.o.d"
+  "/root/repo/src/graph/builder.cc" "src/CMakeFiles/khuzdul.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/graph/builder.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/CMakeFiles/khuzdul.dir/graph/datasets.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/khuzdul.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/khuzdul.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/khuzdul.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/orientation.cc" "src/CMakeFiles/khuzdul.dir/graph/orientation.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/graph/orientation.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/CMakeFiles/khuzdul.dir/graph/partition.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/graph/partition.cc.o.d"
+  "/root/repo/src/pattern/bruteforce.cc" "src/CMakeFiles/khuzdul.dir/pattern/bruteforce.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/pattern/bruteforce.cc.o.d"
+  "/root/repo/src/pattern/generation.cc" "src/CMakeFiles/khuzdul.dir/pattern/generation.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/pattern/generation.cc.o.d"
+  "/root/repo/src/pattern/isomorphism.cc" "src/CMakeFiles/khuzdul.dir/pattern/isomorphism.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/pattern/isomorphism.cc.o.d"
+  "/root/repo/src/pattern/pattern.cc" "src/CMakeFiles/khuzdul.dir/pattern/pattern.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/pattern/pattern.cc.o.d"
+  "/root/repo/src/pattern/planner.cc" "src/CMakeFiles/khuzdul.dir/pattern/planner.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/pattern/planner.cc.o.d"
+  "/root/repo/src/sim/fabric.cc" "src/CMakeFiles/khuzdul.dir/sim/fabric.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/sim/fabric.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/khuzdul.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/sim/stats.cc.o.d"
+  "/root/repo/src/support/check.cc" "src/CMakeFiles/khuzdul.dir/support/check.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/support/check.cc.o.d"
+  "/root/repo/src/support/format.cc" "src/CMakeFiles/khuzdul.dir/support/format.cc.o" "gcc" "src/CMakeFiles/khuzdul.dir/support/format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

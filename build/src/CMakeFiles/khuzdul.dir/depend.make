@@ -1,0 +1,2 @@
+# Empty dependencies file for khuzdul.
+# This may be replaced when dependencies are built.

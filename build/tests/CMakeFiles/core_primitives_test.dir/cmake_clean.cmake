@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_primitives_test.dir/core_primitives_test.cc.o"
+  "CMakeFiles/core_primitives_test.dir/core_primitives_test.cc.o.d"
+  "core_primitives_test"
+  "core_primitives_test.pdb"
+  "core_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khuzdul-cli.dir/khuzdul_cli.cc.o"
+  "CMakeFiles/khuzdul-cli.dir/khuzdul_cli.cc.o.d"
+  "khuzdul"
+  "khuzdul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khuzdul-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
