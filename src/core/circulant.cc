@@ -1,0 +1,85 @@
+#include "core/circulant.hh"
+
+#include <algorithm>
+
+namespace khuzdul
+{
+namespace core
+{
+
+CirculantScheduler::CirculantScheduler(unsigned unit,
+                                       unsigned num_units,
+                                       unsigned units_per_node)
+    : unit_(unit), numUnits_(num_units), unitsPerNode_(units_per_node),
+      node_(unit / units_per_node)
+{}
+
+void
+CirculantScheduler::begin(std::uint32_t num_embeddings)
+{
+    slotOfEmbedding_.assign(num_embeddings, 0);
+    batches_.assign(numUnits_, Batch{});
+}
+
+void
+CirculantScheduler::noteRemote(std::uint32_t idx, unsigned owner,
+                               std::uint64_t bytes)
+{
+    const unsigned slot = slotOf(owner);
+    slotOfEmbedding_[idx] = static_cast<std::uint16_t>(slot);
+    batches_[slot].bytes += bytes;
+    batches_[slot].lists += 1;
+}
+
+void
+CirculantScheduler::issue(sim::Fabric &fabric, sim::RunStats &run,
+                          sim::TraceSink &trace, int level)
+{
+    sim::NodeStats &stats = run.nodes[unit_];
+    for (unsigned slot = 1; slot < numUnits_; ++slot) {
+        Batch &batch = batches_[slot];
+        if (batch.lists == 0)
+            continue;
+        const unsigned owner = ownerOf(slot);
+        const NodeId dst = owner / unitsPerNode_;
+        trace.emit({sim::PhaseEvent::FetchBatchIssued, unit_, level,
+                    batch.bytes, batch.lists});
+        batch.commNs = fabric.recordTransfer(node_, dst, batch.bytes,
+                                             batch.lists);
+        trace.emit({sim::PhaseEvent::FetchBatchCompleted, unit_, level,
+                    batch.bytes, batch.lists});
+        if (dst != node_) {
+            stats.bytesReceived += batch.bytes;
+            ++stats.messagesSent;
+            stats.listsFetchedRemote += batch.lists;
+            // Attribute send-side bytes to the owner unit.
+            run.nodes[owner].bytesSent += batch.bytes;
+        }
+    }
+}
+
+CirculantScheduler::Timeline
+CirculantScheduler::pipeline(unsigned cores, double penalty) const
+{
+    // Computation of batch i overlaps the fetch of batch i+1;
+    // fetches are issued eagerly in order.
+    double comm_done = 0;
+    double finish = 0;
+    Timeline t;
+    for (const Batch &batch : batches_) {
+        // Without NUMA awareness, communication buffers and the
+        // graph partition live in interleaved memory, slowing the
+        // transfer path along with computation.
+        const double comm = batch.commNs * penalty;
+        comm_done += comm;
+        t.commNs += comm;
+        const double work = batch.workNs / cores * penalty;
+        t.computeNs += work;
+        finish = std::max(finish, comm_done) + work;
+    }
+    t.exposedNs = finish - t.computeNs;
+    return t;
+}
+
+} // namespace core
+} // namespace khuzdul

@@ -1,12 +1,11 @@
 #include "core/engine.hh"
 
 #include <algorithm>
-#include <array>
-#include <cmath>
 
 #include "core/chunk.hh"
+#include "core/circulant.hh"
+#include "core/extender.hh"
 #include "core/horizontal.hh"
-#include "core/intersect.hh"
 #include "support/check.hh"
 
 namespace khuzdul
@@ -14,35 +13,23 @@ namespace khuzdul
 namespace core
 {
 
-namespace
-{
-
-/** Transient per-chunk batch ledger (one per source unit). */
-struct Batch
-{
-    double commNs = 0;   ///< modeled transfer time of this batch
-    double workNs = 0;   ///< raw single-core extension work
-    std::uint64_t bytes = 0;
-    std::uint64_t lists = 0;
-};
-
-} // namespace
-
 /**
- * Per-execution-unit run state: the chunk stack, horizontal tables
- * and the BFS-DFS traversal itself.  Lives for one (unit, plan)
- * pair.
+ * The BFS-DFS hybrid traversal (§4.2) of one execution unit: a
+ * stack of fixed-budget chunks, DFS across levels, BFS within a
+ * chunk.  Edge-list resolution is delegated to the unit's
+ * EdgeListProvider, batching/timing to the per-level
+ * CirculantScheduler, extension math to the PlanExtender.
  */
-class UnitRun
+class HybridExplorer
 {
   public:
-    UnitRun(Engine &engine, unsigned unit, const ExtendPlan &plan,
-            MatchVisitor *visitor, sim::NodeStats &stats)
+    HybridExplorer(Engine &engine, unsigned unit,
+                   const ExtendPlan &plan, MatchVisitor *visitor,
+                   sim::NodeStats &stats)
         : engine_(engine), graph_(*engine.graph_), plan_(plan),
-          visitor_(visitor), unit_(unit),
-          node_(unit / unitsPerNode()), stats_(stats),
-          cache_(*engine.caches_[unit]),
-          numUnits_(engine.partition_.numUnits()),
+          visitor_(visitor), unit_(unit), stats_(stats),
+          provider_(*engine.providers_[unit]),
+          extender_(*engine.graph_, plan, engine.config_.cost),
           cores_(engine.computeCoresPerUnit())
     {
         const int n = plan.pattern.size();
@@ -51,7 +38,8 @@ class UnitRun
         for (int i = 0; i < chunkedLevels_; ++i) {
             chunks_.emplace_back(engine.config_.chunkBytes);
             tables_.emplace_back(engine.config_.horizontalSlots);
-            batchIds_.emplace_back();
+            scheds_.emplace_back(unit, engine.partition_.numUnits(),
+                                 engine.partition_.socketsPerNode());
         }
         penalty_ = 1.0;
         if (!engine.config_.numaAware
@@ -94,111 +82,36 @@ class UnitRun
     }
 
   private:
-    unsigned
-    unitsPerNode() const
-    {
-        return engine_.partition_.socketsPerNode();
-    }
+    sim::TraceSink &trace() { return engine_.tracer_; }
 
-    /** Circulant position of owner unit @p o relative to us (§4.3). */
-    unsigned
-    circulantIndex(unsigned owner) const
-    {
-        return (owner + numUnits_ - unit_) % numUnits_;
-    }
-
-    /**
-     * Communication phase of one chunk: classify every embedding's
-     * new edge list as local / cached / horizontally shared /
-     * remote, group remote fetches by owner unit in circulant
-     * order, and record the modeled transfers.
-     */
+    /** Communication phase of one chunk: resolve every embedding's
+     *  new edge list through the provider chain; Remote outcomes
+     *  join the circulant scheduler's per-owner batches. */
     void
-    fetchPhase(int level, std::vector<Batch> &batches)
+    fetchPhase(int level)
     {
         Chunk &chunk = chunks_[level];
-        HorizontalTable &table = tables_[level];
-        auto &batch_ids = batchIds_[level];
-        batch_ids.assign(chunk.size(), 0);
-        batches.assign(numUnits_, Batch{});
-        const sim::CostModel &cost = engine_.config_.cost;
-        const bool replacement =
-            cache_.policy() != CachePolicy::Static
-            && cache_.policy() != CachePolicy::None;
-
-        // Owner units of pending transfers, for per-batch ledgers.
-        std::vector<unsigned> owners(numUnits_);
-        for (unsigned i = 0; i < numUnits_; ++i)
-            owners[(i + numUnits_ - unit_) % numUnits_] = i;
-
+        CirculantScheduler &sched = scheds_[level];
+        sched.begin(chunk.size());
         for (std::uint32_t idx = 0; idx < chunk.size(); ++idx) {
             if (!chunk.needsFetch(idx))
                 continue;
-            const VertexId v = chunk.vertex(idx);
-            const unsigned owner = engine_.partition_.ownerUnit(v);
-            if (owner == unit_) {
-                ++stats_.listsServedLocal;
-                continue;
-            }
-            // Static cache first (§5.3): cached lists cost one probe.
-            stats_.cacheNs += replacement
-                ? cost.replacementCacheProbeNs
-                : cost.staticCacheProbeNs;
-            if (cache_.lookup(v)) {
-                ++stats_.staticCacheHits;
-                continue;
-            }
-            ++stats_.staticCacheMisses;
-            // Horizontal sharing (§5.2): dedup within the chunk.
-            if (engine_.config_.horizontalSharing) {
-                stats_.cacheNs += cost.hashProbeNs;
-                const auto probe = table.offer(v);
-                if (probe == HorizontalTable::Probe::Hit) {
-                    ++stats_.horizontalHits;
-                    batch_ids[idx] =
-                        static_cast<std::uint16_t>(circulantIndex(owner));
-                    continue;
-                }
-                if (probe == HorizontalTable::Probe::Dropped)
-                    ++stats_.horizontalDrops;
-            }
-            const std::uint64_t bytes = graph_.edgeListBytes(v);
-            const unsigned slot = circulantIndex(owner);
-            batch_ids[idx] = static_cast<std::uint16_t>(slot);
-            batches[slot].bytes += bytes;
-            batches[slot].lists += 1;
-            chunk.addFetchedBytes(bytes);
-            // Admission attempt after the fetch.
-            if (cache_.insert(v)) {
-                ++stats_.staticCacheInsertions;
-                if (replacement)
-                    stats_.cacheNs += cost.replacementAllocNs;
+            const Resolution r = provider_.resolve(
+                unit_, chunk.vertex(idx), &tables_[level], stats_,
+                level);
+            if (r.kind == ResolutionKind::Shared) {
+                sched.noteShared(idx, r.owner);
+            } else if (r.kind == ResolutionKind::Remote) {
+                sched.noteRemote(idx, r.owner, r.bytes);
+                chunk.addFetchedBytes(r.bytes);
             }
         }
-
-        for (unsigned slot = 1; slot < numUnits_; ++slot) {
-            Batch &batch = batches[slot];
-            if (batch.lists == 0)
-                continue;
-            const unsigned owner = owners[slot];
-            const NodeId dst = owner / unitsPerNode();
-            batch.commNs = engine_.fabric_.recordTransfer(
-                node_, dst, batch.bytes, batch.lists);
-            if (dst != node_) {
-                stats_.bytesReceived += batch.bytes;
-                ++stats_.messagesSent;
-                stats_.listsFetchedRemote += batch.lists;
-                // Attribute send-side bytes to the owner unit.
-                engine_.stats_.nodes[owner].bytesSent += batch.bytes;
-            }
-        }
+        sched.issue(engine_.fabric_, engine_.stats_, trace(), level);
     }
 
-    /**
-     * Process a filled chunk: fetch, then extend level by level
-     * (descending whenever the child chunk fills, §4.2), and fold
-     * the batch timeline through the circulant pipeline (§4.3).
-     */
+    /** Process a filled chunk: fetch, then extend level by level
+     *  (descending whenever the child chunk fills, §4.2), and fold
+     *  the batch timeline through the circulant pipeline (§4.3). */
     void
     processLevel(int level)
     {
@@ -208,27 +121,28 @@ class UnitRun
         stats_.schedulerNs += cost.chunkSetupNs;
         stats_.peakChunkBytes =
             std::max(stats_.peakChunkBytes, chunk.modeledBytes());
+        trace().emit({sim::PhaseEvent::ChunkOpen, unit_, level,
+                      chunk.size(), chunk.modeledBytes()});
 
-        std::vector<Batch> batches;
-        fetchPhase(level, batches);
+        fetchPhase(level);
 
-        // Mini-batch dynamic dispatch overhead (§6).
-        const auto mini_batches = (chunk.size()
-            + engine_.config_.miniBatchSize - 1)
-            / engine_.config_.miniBatchSize;
-        stats_.schedulerNs += static_cast<double>(mini_batches)
-            * cost.miniBatchDispatchNs / cores_;
+        stats_.schedulerNs += CirculantScheduler::dispatchOverheadNs(
+            chunk.size(), engine_.config_.miniBatchSize,
+            cost.miniBatchDispatchNs, cores_);
 
         const bool terminal = level == chunkedLevels_ - 1;
+        trace().emit({sim::PhaseEvent::ExtendStart, unit_, level,
+                      chunk.size(), 0});
         for (std::uint32_t idx = 0; idx < chunk.size(); ++idx) {
-            const double work_before = workNsScratch_;
-            workNsScratch_ = 0;
+            const double work_before = extender_.exchangeWork(0);
             if (terminal)
-                extendTerminal(level, idx);
+                raw_ += extender_.extendTerminal(chunks_, level, idx,
+                                                 visitor_, stats_);
             else
-                extendInner(level, idx);
-            batches[batchIds_[level][idx]].workNs += workNsScratch_;
-            workNsScratch_ = work_before;
+                extender_.extendInner(chunks_, chunks_[level + 1],
+                                      level, idx, stats_);
+            scheds_[level].chargeWork(idx, extender_.workNs());
+            extender_.exchangeWork(work_before);
 
             if (!terminal && chunks_[level + 1].full()) {
                 processLevel(level + 1);
@@ -241,214 +155,15 @@ class UnitRun
             chunks_[level + 1].reset();
             tables_[level + 1].clear();
         }
+        trace().emit({sim::PhaseEvent::ExtendEnd, unit_, level,
+                      chunk.size(), 0});
 
-        // Circulant pipeline: computation of batch i overlaps the
-        // fetch of batch i+1; fetches are issued eagerly in order.
-        double comm_done = 0;
-        double finish = 0;
-        double total_work = 0;
-        double total_comm = 0;
-        for (unsigned slot = 0; slot < numUnits_; ++slot) {
-            // Without NUMA awareness, communication buffers and the
-            // graph partition live in interleaved memory, slowing
-            // the transfer path along with computation.
-            const double comm = batches[slot].commNs * penalty_;
-            comm_done += comm;
-            total_comm += comm;
-            const double work = batches[slot].workNs / cores_ * penalty_;
-
-            total_work += work;
-            finish = std::max(finish, comm_done) + work;
-        }
-        stats_.computeNs += total_work;
-        stats_.commTotalNs += total_comm;
-        stats_.commExposedNs += finish - total_work;
-    }
-
-    /** Walk parent pointers to recover the embedding's vertices. */
-    void
-    recoverVertices(int level, std::uint32_t idx)
-    {
-        std::uint32_t cursor = idx;
-        for (int l = level; l >= 0; --l) {
-            vertices_[l] = chunks_[l].vertex(cursor);
-            cursor = chunks_[l].parent(cursor);
-        }
-    }
-
-    /**
-     * Materialize the candidate set for position @p t of the
-     * embedding (level @p t - 1, index @p idx) into out.
-     */
-    void
-    buildCandidates(int t, std::uint32_t idx, std::vector<VertexId> &out)
-    {
-        const PlanLevel &level = plan_.levels[t];
-        const sim::CostModel &cost = engine_.config_.cost;
-        WorkItems work = 0;
-        PositionMask dep = level.depMask;
-        if (level.reuseParent) {
-            const auto stored = chunks_[t - 1].result(idx);
-            out.assign(stored.begin(), stored.end());
-            dep = level.extraDepMask;
-            ++stats_.verticalReuses;
-        } else {
-            std::size_t lists = 0;
-            for (int j = 0; j < t; ++j)
-                if ((dep >> j) & 1u)
-                    listBuf_[lists++] = graph_.neighbors(vertices_[j]);
-            work += intersectMany({listBuf_.data(), lists}, out,
-                                  scratchA_);
-            dep = 0;
-        }
-        for (int j = 0; j < t; ++j) {
-            if ((dep >> j) & 1u) {
-                scratchB_.clear();
-                work += intersectInto(out, graph_.neighbors(vertices_[j]),
-                                      scratchB_);
-                out.swap(scratchB_);
-            }
-        }
-        const PositionMask anti = level.reuseParent ? level.extraAntiMask
-                                                    : level.antiMask;
-        for (int j = 0; j < t; ++j) {
-            if ((anti >> j) & 1u) {
-                scratchB_.clear();
-                work += subtractInto(out, graph_.neighbors(vertices_[j]),
-                                     scratchB_);
-                out.swap(scratchB_);
-            }
-        }
-        stats_.intersectionItems += work;
-        workNsScratch_ += static_cast<double>(work)
-            * cost.intersectPerItemNs;
-    }
-
-    /** Per-candidate filters (distinctness, restrictions, labels). */
-    bool
-    accept(int t, VertexId candidate)
-    {
-        const PlanLevel &level = plan_.levels[t];
-        workNsScratch_ += engine_.config_.cost.candidateCheckNs;
-        if (level.hasLabelFilter
-            && graph_.label(candidate) != level.labelFilter)
-            return false;
-        for (int j = 0; j < t; ++j) {
-            if (vertices_[j] == candidate)
-                return false;
-            if (((level.greaterThanMask >> j) & 1u)
-                && candidate <= vertices_[j])
-                return false;
-        }
-        return true;
-    }
-
-    /** Extend a non-terminal embedding, filling the child chunk. */
-    void
-    extendInner(int level, std::uint32_t idx)
-    {
-        recoverVertices(level, idx);
-        const int t = level + 1;
-        const PlanLevel &next = plan_.levels[t];
-        buildCandidates(t, idx, candidates_);
-        Chunk &child = chunks_[t];
-        // Siblings share one stored copy of the candidate set; it is
-        // appended lazily when the first child materializes.
-        std::uint32_t result_offset = 0;
-        bool result_stored = false;
-        for (const VertexId candidate : candidates_) {
-            if (!accept(t, candidate))
-                continue;
-            const std::uint32_t child_idx =
-                child.add(candidate, idx, next.fetchEdgeList);
-            ++stats_.embeddingsCreated;
-            workNsScratch_ += engine_.config_.cost.embeddingCreateNs;
-            if (next.storeResult) {
-                if (!result_stored) {
-                    result_offset = child.appendResult(candidates_);
-                    result_stored = true;
-                }
-                child.setResultRef(
-                    child_idx, result_offset,
-                    static_cast<std::uint32_t>(candidates_.size()));
-            }
-        }
-    }
-
-    /** Terminal extension: scan-count or IEP (no materialization). */
-    void
-    extendTerminal(int level, std::uint32_t idx)
-    {
-        recoverVertices(level, idx);
-        if (plan_.hasIep) {
-            terminalIep(level + 1, idx);
-            return;
-        }
-        const int t = plan_.pattern.size() - 1;
-        buildCandidates(t, idx, candidates_);
-        for (const VertexId candidate : candidates_) {
-            if (!accept(t, candidate))
-                continue;
-            ++raw_;
-            workNsScratch_ += engine_.config_.cost.terminalNs;
-            if (visitor_) {
-                vertices_[t] = candidate;
-                visitor_->match({vertices_.data(),
-                                 static_cast<std::size_t>(t + 1)});
-            }
-        }
-    }
-
-    /** IEP terminal block over the matched prefix (GraphPi, §IEP). */
-    void
-    terminalIep(int prefix_len, std::uint32_t idx)
-    {
-        const sim::CostModel &cost = engine_.config_.cost;
-        std::array<std::int64_t, 32> sizes{};
-        for (std::size_t m = 0; m < plan_.iep.masks.size(); ++m) {
-            const PositionMask mask = plan_.iep.masks[m];
-            const bool reuse = !plan_.iep.maskReuse.empty()
-                && plan_.iep.maskReuse[m];
-            std::size_t lists = 0;
-            if (reuse) {
-                // Vertical sharing into the IEP: start from this
-                // embedding's stored candidate set.
-                listBuf_[lists++] =
-                    chunks_[prefix_len - 1].result(idx);
-                ++stats_.verticalReuses;
-                for (int j = 0; j < prefix_len; ++j)
-                    if ((plan_.iep.maskExtra[m] >> j) & 1u)
-                        listBuf_[lists++] =
-                            graph_.neighbors(vertices_[j]);
-            } else {
-                for (int j = 0; j < prefix_len; ++j)
-                    if ((mask >> j) & 1u)
-                        listBuf_[lists++] =
-                            graph_.neighbors(vertices_[j]);
-            }
-            Count count = 0;
-            const WorkItems work = intersectManyCount(
-                {listBuf_.data(), lists}, count, scratchA_, scratchB_);
-            stats_.intersectionItems += work;
-            workNsScratch_ += static_cast<double>(work)
-                * cost.intersectPerItemNs;
-            std::int64_t size = static_cast<std::int64_t>(count);
-            for (int j = 0; j < prefix_len; ++j) {
-                bool inside = true;
-                for (std::size_t l = 0; l < lists && inside; ++l)
-                    inside = contains(listBuf_[l], vertices_[j]);
-                if (inside)
-                    --size;
-            }
-            sizes[m] = size;
-        }
-        for (const IepBlock::Term &term : plan_.iep.terms) {
-            std::int64_t product = term.coefficient;
-            for (const int mask_idx : term.maskIndex)
-                product *= sizes[mask_idx];
-            raw_ += product;
-        }
-        workNsScratch_ += cost.terminalNs;
+        const auto t = scheds_[level].pipeline(cores_, penalty_);
+        stats_.computeNs += t.computeNs;
+        stats_.commTotalNs += t.commNs;
+        stats_.commExposedNs += t.exposedNs;
+        trace().emit({sim::PhaseEvent::ChunkClose, unit_, level,
+                      chunk.size(), 0});
     }
 
     Engine &engine_;
@@ -456,26 +171,18 @@ class UnitRun
     const ExtendPlan &plan_;
     MatchVisitor *visitor_;
     unsigned unit_;
-    NodeId node_;
     sim::NodeStats &stats_;
-    DataCache &cache_;
-    unsigned numUnits_;
+    EdgeListProvider &provider_;
+    PlanExtender extender_;
     unsigned cores_;
     double penalty_ = 1.0;
     int chunkedLevels_ = 0;
 
     std::vector<Chunk> chunks_;
     std::vector<HorizontalTable> tables_;
-    std::vector<std::vector<std::uint16_t>> batchIds_;
-
-    std::array<VertexId, kMaxPatternSize> vertices_{};
-    std::array<std::span<const VertexId>, kMaxPatternSize> listBuf_{};
-    std::vector<VertexId> candidates_;
-    std::vector<VertexId> scratchA_;
-    std::vector<VertexId> scratchB_;
+    std::vector<CirculantScheduler> scheds_;
 
     std::int64_t raw_ = 0;
-    double workNsScratch_ = 0;
 };
 
 Engine::Engine(const Graph &g, const EngineConfig &config)
@@ -489,10 +196,17 @@ Engine::Engine(const Graph &g, const EngineConfig &config)
         * static_cast<double>(g.sizeBytes());
     const std::uint64_t per_unit = static_cast<std::uint64_t>(
         per_node / partition_.socketsPerNode());
-    for (unsigned u = 0; u < partition_.numUnits(); ++u)
+    for (unsigned u = 0; u < partition_.numUnits(); ++u) {
         caches_.push_back(std::make_unique<DataCache>(
             g, config_.cachePolicy, per_unit,
             config_.cacheDegreeThreshold));
+        providers_.push_back(std::make_unique<EdgeListProvider>(
+            g, partition_, caches_.back().get(),
+            config_.horizontalSharing,
+            EdgeListProvider::engineCosts(config_.cost,
+                                          *caches_.back()),
+            tracer_));
+    }
 }
 
 Engine::~Engine() = default;
@@ -524,8 +238,9 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
     stats_.startupNs += config_.cost.engineStartupNs;
     std::int64_t raw = 0;
     for (unsigned u = 0; u < partition_.numUnits(); ++u) {
-        UnitRun unit_run(*this, u, plan, visitor, stats_.nodes[u]);
-        raw += unit_run.run();
+        HybridExplorer explorer(*this, u, plan, visitor,
+                                stats_.nodes[u]);
+        raw += explorer.run();
     }
     KHUZDUL_CHECK(raw >= 0, "negative raw count");
     KHUZDUL_CHECK(raw % plan.countDivisor == 0,
@@ -540,6 +255,7 @@ Engine::resetStats()
     stats_ = sim::RunStats{};
     stats_.nodes.resize(partition_.numUnits());
     fabric_.reset();
+    traceCounts_.reset();
     for (auto &cache : caches_)
         cache->resetCounters();
 }

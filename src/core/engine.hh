@@ -4,14 +4,22 @@
  *
  * The engine runs an ExtendPlan — the compiled EXTEND function of a
  * client GPM system — over a 1-D hash-partitioned graph on a
- * simulated cluster.  Each (node, socket) execution unit explores
- * the embedding trees of its owned vertices with the BFS-DFS hybrid
- * (fixed-budget chunks per level, DFS across chunks, BFS within,
- * §4.2), fetching remote active edge lists in circulant per-owner
- * batches that pipeline with computation (§4.3).  Data reuse:
- * vertical sharing via parent pointers and stored intermediate
- * results (§5.1), horizontal sharing via the collision-dropping
- * chunk table (§5.2), and the static no-replacement cache (§5.3).
+ * simulated cluster.  The runtime is layered; each layer is its own
+ * translation unit with a narrow interface:
+ *
+ *   - EdgeListProvider (core/provider): classifies each embedding's
+ *     needed edge list as local / cached / horizontally shared /
+ *     remote and returns a typed Resolution (§5.2-§5.3);
+ *   - CirculantScheduler (core/circulant): groups remote fetches
+ *     into per-owner batches and folds the pipelined
+ *     comm(b0) + Σ max(compute, comm) timeline (§4.3);
+ *   - PlanExtender (core/extender): the intersection/filter/IEP
+ *     extension kernel with vertical sharing (§5.1);
+ *   - HybridExplorer (this TU): the BFS-DFS traversal — fixed-budget
+ *     chunks per level, DFS across chunks, BFS within (§4.2) —
+ *     driving the layers above;
+ *   - TraceSink (sim/trace): phase-event observability across all
+ *     layers, null by default.
  *
  * Enumeration is performed for real (counts are exact and tested
  * against brute force); time and traffic are modeled through
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "core/cache.hh"
+#include "core/provider.hh"
 #include "core/visitor.hh"
 #include "graph/graph.hh"
 #include "graph/partition.hh"
@@ -35,6 +44,7 @@
 #include "sim/cost_model.hh"
 #include "sim/fabric.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace khuzdul
 {
@@ -120,21 +130,38 @@ class Engine
     /** Fabric ledger (per-link traffic; test fault injection). */
     sim::Fabric &fabric() { return fabric_; }
 
-    /** Clear statistics and the traffic ledger (caches persist). */
+    /**
+     * Install a phase-event sink observing every layer (nullptr
+     * uninstalls).  Tracing never changes results or modeled time.
+     */
+    void setTraceSink(sim::TraceSink *sink) { tracer_.secondary(sink); }
+
+    /** Per-event tallies of the engine's built-in counting sink
+     *  (cross-checkable against stats(); cleared by resetStats). */
+    const sim::CountingTraceSink &traceCounts() const
+    {
+        return traceCounts_;
+    }
+
+    /** Clear statistics, trace counts and the traffic ledger
+     *  (caches persist). */
     void resetStats();
 
     /** Compute cores available to one execution unit. */
     unsigned computeCoresPerUnit() const;
 
   private:
-    friend class UnitRun;
+    friend class HybridExplorer;
 
     const Graph *graph_;
     EngineConfig config_;
     Partition partition_;
     sim::Fabric fabric_;
     sim::RunStats stats_;
+    sim::CountingTraceSink traceCounts_;
+    sim::TeeTraceSink tracer_{traceCounts_};
     std::vector<std::unique_ptr<DataCache>> caches_;
+    std::vector<std::unique_ptr<EdgeListProvider>> providers_;
 };
 
 } // namespace core

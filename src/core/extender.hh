@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The extension kernel of the chunked engine: everything one EXTEND
+ * call does *after* its edge lists are available.  PlanExtender
+ * recovers an embedding's vertices from the parent-pointer chain,
+ * materializes candidate sets (with vertical computation sharing,
+ * §5.1), applies the plan's per-candidate filters, and folds the
+ * IEP terminal block — owning all scratch buffers so the explorer
+ * loop in engine.cc stays a pure traversal.  Charged intersection
+ * work accumulates in an exchangeable ledger that the explorer
+ * attributes to the embedding's circulant batch.
+ */
+
+#ifndef KHUZDUL_CORE_EXTENDER_HH
+#define KHUZDUL_CORE_EXTENDER_HH
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "core/chunk.hh"
+#include "core/visitor.hh"
+#include "graph/graph.hh"
+#include "pattern/plan.hh"
+#include "sim/cost_model.hh"
+#include "sim/stats.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+/** Per-unit extension state: vertices, candidates, scratch. */
+class PlanExtender
+{
+  public:
+    PlanExtender(const Graph &g, const ExtendPlan &plan,
+                 const sim::CostModel &cost)
+        : graph_(&g), plan_(&plan), cost_(&cost)
+    {}
+
+    /** Walk parent pointers to recover the embedding's vertices. */
+    void
+    recoverVertices(const std::vector<Chunk> &chunks, int level,
+                    std::uint32_t idx)
+    {
+        std::uint32_t cursor = idx;
+        for (int l = level; l >= 0; --l) {
+            vertices_[l] = chunks[l].vertex(cursor);
+            cursor = chunks[l].parent(cursor);
+        }
+    }
+
+    /**
+     * Materialize the candidate set for position @p t of the
+     * embedding.  @p stored is the parent's stored intermediate
+     * result (used when the plan level reuses it, §5.1).
+     */
+    void buildCandidates(int t, std::span<const VertexId> stored,
+                         sim::NodeStats &stats);
+
+    /** Per-candidate filters (distinctness, restrictions, labels). */
+    bool accept(int t, VertexId candidate);
+
+    /**
+     * IEP terminal block over the matched prefix (GraphPi, §IEP).
+     * @return the raw-count contribution of this embedding.
+     */
+    std::int64_t iepTerminal(int prefix_len,
+                             std::span<const VertexId> stored,
+                             sim::NodeStats &stats);
+
+    /** Extend non-terminal embedding (@p level, @p idx) of
+     *  @p chunks, appending accepted children to @p child. */
+    void extendInner(const std::vector<Chunk> &chunks, Chunk &child,
+                     int level, std::uint32_t idx,
+                     sim::NodeStats &stats);
+
+    /**
+     * Terminal extension of embedding (@p level, @p idx): IEP fold
+     * or scan-count, delivering matches to @p visitor when set.
+     * @return the raw-count contribution.
+     */
+    std::int64_t extendTerminal(const std::vector<Chunk> &chunks,
+                                int level, std::uint32_t idx,
+                                MatchVisitor *visitor,
+                                sim::NodeStats &stats);
+
+    /** The recovered/extended embedding (position-indexed). */
+    std::array<VertexId, kMaxPatternSize> &vertices()
+    {
+        return vertices_;
+    }
+
+    const std::vector<VertexId> &candidates() const
+    {
+        return candidates_;
+    }
+
+    /** Charge @p ns of modeled work to the current ledger. */
+    void addWork(double ns) { workNs_ += ns; }
+
+    /** Swap the work ledger (explorer save/zero/restore per
+     *  embedding so work lands on the right batch). */
+    double
+    exchangeWork(double value)
+    {
+        const double old = workNs_;
+        workNs_ = value;
+        return old;
+    }
+
+    double workNs() const { return workNs_; }
+
+  private:
+    const Graph *graph_;
+    const ExtendPlan *plan_;
+    const sim::CostModel *cost_;
+
+    std::array<VertexId, kMaxPatternSize> vertices_{};
+    std::array<std::span<const VertexId>, kMaxPatternSize> listBuf_{};
+    std::vector<VertexId> candidates_;
+    std::vector<VertexId> scratchA_;
+    std::vector<VertexId> scratchB_;
+    double workNs_ = 0;
+};
+
+} // namespace core
+} // namespace khuzdul
+
+#endif // KHUZDUL_CORE_EXTENDER_HH

@@ -1,0 +1,98 @@
+#include "core/provider.hh"
+
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+const char *
+resolutionKindName(ResolutionKind kind)
+{
+    switch (kind) {
+      case ResolutionKind::Local:
+        return "local";
+      case ResolutionKind::CacheHit:
+        return "cache";
+      case ResolutionKind::Shared:
+        return "shared";
+      case ResolutionKind::Remote:
+        return "remote";
+    }
+    KHUZDUL_PANIC("unreachable resolution kind");
+}
+
+EdgeListProvider::EdgeListProvider(const Graph &g,
+                                   const Partition &partition,
+                                   DataCache *cache,
+                                   bool horizontal_sharing, Costs costs,
+                                   sim::TraceSink &trace)
+    : graph_(&g), partition_(&partition), cache_(cache),
+      horizontalSharing_(horizontal_sharing), costs_(costs),
+      trace_(&trace)
+{}
+
+EdgeListProvider::Costs
+EdgeListProvider::engineCosts(const sim::CostModel &cost,
+                              const DataCache &cache)
+{
+    const bool replacement = cache.policy() != CachePolicy::Static
+        && cache.policy() != CachePolicy::None;
+    Costs costs;
+    costs.cacheProbeNs = replacement ? cost.replacementCacheProbeNs
+                                     : cost.staticCacheProbeNs;
+    costs.cacheAdmitNs = replacement ? cost.replacementAllocNs : 0;
+    costs.hashProbeNs = cost.hashProbeNs;
+    return costs;
+}
+
+Resolution
+EdgeListProvider::resolve(unsigned requester, VertexId v,
+                          HorizontalTable *table,
+                          sim::NodeStats &stats, int level)
+{
+    Resolution r;
+    r.owner = partition_->ownerUnit(v);
+    if (r.owner == requester) {
+        ++stats.listsServedLocal;
+        r.kind = ResolutionKind::Local;
+        return r;
+    }
+    if (cache_) {
+        stats.cacheNs += costs_.cacheProbeNs;
+        if (cache_->lookup(v)) {
+            ++stats.staticCacheHits;
+            trace_->emit({sim::PhaseEvent::CacheHit, requester, level,
+                          v, 0});
+            r.kind = ResolutionKind::CacheHit;
+            return r;
+        }
+        ++stats.staticCacheMisses;
+        trace_->emit({sim::PhaseEvent::CacheMiss, requester, level, v,
+                      0});
+    }
+    if (horizontalSharing_ && table) {
+        stats.cacheNs += costs_.hashProbeNs;
+        const auto probe = table->offer(v);
+        if (probe == HorizontalTable::Probe::Hit) {
+            ++stats.horizontalHits;
+            r.kind = ResolutionKind::Shared;
+            return r;
+        }
+        if (probe == HorizontalTable::Probe::Dropped)
+            ++stats.horizontalDrops;
+    }
+    r.kind = ResolutionKind::Remote;
+    r.bytes = graph_->edgeListBytes(v);
+    // Admission attempt after the fetch.
+    if (cache_ && cache_->insert(v)) {
+        ++stats.staticCacheInsertions;
+        stats.cacheNs += costs_.cacheAdmitNs;
+        r.admitted = true;
+    }
+    return r;
+}
+
+} // namespace core
+} // namespace khuzdul

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Edge-list resolution chain (§4.3, §5).  An extension needs the
+ * active edge list of its frontier vertex; *how* that list is
+ * acquired is a policy chain the paper layers explicitly:
+ *
+ *   local partition → static/replacement cache → horizontal
+ *   (chunk-scoped) share → remote per-owner batch.
+ *
+ * EdgeListProvider walks that chain for one vertex and returns a
+ * typed Resolution saying where the list will come from, charging
+ * probe time and reuse counters to the requesting unit's NodeStats
+ * along the way.  The distributed engine, the G-thinker baseline
+ * and the moving-computation baseline all classify through this one
+ * type, so the resolution semantics live in exactly one place;
+ * batching and timing of the Remote outcomes belong to the
+ * CirculantScheduler, not here.
+ */
+
+#ifndef KHUZDUL_CORE_PROVIDER_HH
+#define KHUZDUL_CORE_PROVIDER_HH
+
+#include <cstdint>
+
+#include "core/cache.hh"
+#include "core/horizontal.hh"
+#include "graph/graph.hh"
+#include "graph/partition.hh"
+#include "sim/cost_model.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+/** Where a needed edge list resolves to. */
+enum class ResolutionKind : std::uint8_t
+{
+    Local,    ///< requester owns the vertex: zero-cost read
+    CacheHit, ///< resident in the unit's data cache
+    Shared,   ///< another embedding of the chunk fetches it (§5.2)
+    Remote,   ///< must join a per-owner fetch batch
+};
+
+const char *resolutionKindName(ResolutionKind kind);
+
+/** Outcome of one resolution-chain walk. */
+struct Resolution
+{
+    ResolutionKind kind = ResolutionKind::Local;
+
+    /** Execution unit owning the vertex (valid for Shared/Remote). */
+    unsigned owner = 0;
+
+    /** Wire payload of the list (Remote only, else 0). */
+    std::uint64_t bytes = 0;
+
+    /** Whether the fetched list was admitted to the cache. */
+    bool admitted = false;
+};
+
+/**
+ * The resolution chain of one execution unit.  Stateless apart from
+ * the cache it manages; chunk-scoped horizontal tables are passed
+ * per call because their lifetime belongs to the chunk.
+ */
+class EdgeListProvider
+{
+  public:
+    /** Probe-time constants charged to NodeStats::cacheNs. */
+    struct Costs
+    {
+        double cacheProbeNs = 0; ///< per cache lookup (any outcome)
+        double cacheAdmitNs = 0; ///< extra charge when admission allocates
+        double hashProbeNs = 0;  ///< per horizontal-table probe
+    };
+
+    /**
+     * @param cache unit-local data cache, or nullptr for engines
+     *        that fetch uncached (probe steps are skipped).
+     * @param horizontal_sharing enables the chunk-table step when a
+     *        table is supplied to resolve().
+     */
+    EdgeListProvider(const Graph &g, const Partition &partition,
+                     DataCache *cache, bool horizontal_sharing,
+                     Costs costs,
+                     sim::TraceSink &trace = sim::nullTraceSink());
+
+    /** The engine's probe-cost schedule for @p cache's policy
+     *  (replacement policies pay their bookkeeping, §7.6). */
+    static Costs engineCosts(const sim::CostModel &cost,
+                             const DataCache &cache);
+
+    /**
+     * Resolve the edge list of @p v for @p requester, charging
+     * probe time and reuse counters to @p stats.  @p table is the
+     * requester's chunk-scoped dedup table (may be null).
+     * @p level annotates emitted trace events only.
+     */
+    Resolution resolve(unsigned requester, VertexId v,
+                       HorizontalTable *table, sim::NodeStats &stats,
+                       int level = 0);
+
+    const Partition &partition() const { return *partition_; }
+    DataCache *cache() { return cache_; }
+
+  private:
+    const Graph *graph_;
+    const Partition *partition_;
+    DataCache *cache_;
+    bool horizontalSharing_;
+    Costs costs_;
+    sim::TraceSink *trace_;
+};
+
+} // namespace core
+} // namespace khuzdul
+
+#endif // KHUZDUL_CORE_PROVIDER_HH

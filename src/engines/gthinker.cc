@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/cache.hh"
+#include "core/provider.hh"
 #include "support/check.hh"
 
 namespace khuzdul
@@ -59,6 +60,13 @@ GThinkerEngine::count(const Pattern &p, const PlanOptions &options)
         sim::NodeStats &st = result.stats.nodes[n];
         core::DataCache cache(*graph_, core::CachePolicy::Lru,
                               config_.cacheBytes, 0);
+        // G-thinker resolves through the same chain as the engine,
+        // minus horizontal sharing; its task<->data map update is
+        // the (expensive) per-probe cost.
+        core::EdgeListProvider provider(
+            *graph_, partition_, &cache, /*horizontal_sharing=*/false,
+            {.cacheProbeNs = cost.gthinkerMapUpdateNs * contention,
+             .cacheAdmitNs = 0, .hashProbeNs = 0});
         double compute_ns = 0;
         double comm_ns = 0;
         std::uint64_t subgraph_bytes_total = 0;
@@ -84,25 +92,20 @@ GThinkerEngine::count(const Pattern &p, const PlanOptions &options)
             st.embeddingsCreated += work.embeddingsVisited;
 
             // The task pulls the k-hop subgraph before computing:
-            // every distinct non-local edge list is requested
-            // through the cache, whose task<->data map is updated
-            // per request (the expensive part).
+            // every distinct non-local edge list is resolved
+            // through the provider chain, whose cache probe models
+            // the task<->data map update (the expensive part).
             std::uint64_t pull_bytes = 0;
             std::uint64_t pull_lists = 0;
             std::uint64_t subgraph_bytes = 0;
             for (const VertexId v : collector.accessed) {
                 subgraph_bytes += graph_->edgeListBytes(v);
-                if (partition_.ownerNode(v) == n)
+                const core::Resolution r =
+                    provider.resolve(n, v, nullptr, st);
+                if (r.kind != core::ResolutionKind::Remote)
                     continue;
-                st.cacheNs += cost.gthinkerMapUpdateNs * contention;
-                if (cache.lookup(v)) {
-                    ++st.staticCacheHits;
-                    continue;
-                }
-                ++st.staticCacheMisses;
-                pull_bytes += graph_->edgeListBytes(v);
+                pull_bytes += r.bytes;
                 ++pull_lists;
-                cache.insert(v);
             }
             subgraph_bytes_total += subgraph_bytes;
             if (pull_lists > 0) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/provider.hh"
 #include "support/check.hh"
 
 namespace khuzdul
@@ -14,40 +15,40 @@ namespace
 
 /**
  * Tracks embedding migrations: each edge-list access happens at the
- * data's owner; when consecutive accesses live on different nodes
- * the embedding (plus carried lists) crosses the wire.
+ * data's owner; when the provider chain resolves an access Remote
+ * the embedding (plus carried lists) crosses the wire and execution
+ * continues at the owner.
  */
 class MigrationTracker : public core::RunnerHooks
 {
   public:
-    MigrationTracker(const Graph &g, const Partition &partition,
-                     NodeId start)
-        : graph_(&g), partition_(&partition), current_(start)
+    MigrationTracker(core::EdgeListProvider &provider,
+                     sim::NodeStats &stats, NodeId start)
+        : provider_(&provider), stats_(&stats), current_(start)
     {}
 
     void
     onEdgeListAccess(VertexId v) override
     {
-        const NodeId owner = partition_->ownerNode(v);
-        lastListBytes_ = graph_->edgeListBytes(v);
-        if (owner == current_)
+        const core::Resolution r =
+            provider_->resolve(current_, v, nullptr, *stats_);
+        if (r.kind != core::ResolutionKind::Remote)
             return;
         ++migrations;
         // The embedding ships with the edge list(s) needed for the
         // intersection at the destination (the paper's example
         // sends N(v0) along with (v0, v2)).
-        bytesShipped += 32 + lastListBytes_;
-        current_ = owner;
+        bytesShipped += 32 + r.bytes;
+        current_ = static_cast<NodeId>(r.owner);
     }
 
     std::uint64_t migrations = 0;
     std::uint64_t bytesShipped = 0;
 
   private:
-    const Graph *graph_;
-    const Partition *partition_;
+    core::EdgeListProvider *provider_;
+    sim::NodeStats *stats_;
     NodeId current_;
-    std::uint64_t lastListBytes_ = 0;
 };
 
 } // namespace
@@ -71,10 +72,14 @@ MoveComputationEngine::run(const Pattern &p,
     const unsigned cores = config_.cluster.computeCoresPerNode();
 
     result.stats.nodes.resize(nodes);
+    // Owner classification without cache or horizontal steps: a
+    // moving-computation engine fetches nothing, it relocates.
+    core::EdgeListProvider provider(*graph_, partition_, nullptr,
+                                    false, {});
     std::int64_t raw = 0;
     for (NodeId n = 0; n < nodes; ++n) {
         sim::NodeStats &st = result.stats.nodes[n];
-        MigrationTracker tracker(*graph_, partition_, n);
+        MigrationTracker tracker(provider, st, n);
         const auto &roots = partition_.ownedVertices(n);
         const auto work = core::runPlanDfs(
             *graph_, plan, {roots.data(), roots.size()}, nullptr,

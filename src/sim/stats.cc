@@ -157,6 +157,54 @@ RunStats::accumulate(const RunStats &other)
 }
 
 std::string
+RunStats::toJson() const
+{
+    std::ostringstream os;
+    os.precision(15);
+    os << "{\n"
+       << "  \"makespan_ns\": " << makespanNs() << ",\n"
+       << "  \"startup_ns\": " << startupNs << ",\n"
+       << "  \"compute_ns\": " << totalComputeNs() << ",\n"
+       << "  \"comm_exposed_ns\": " << totalCommExposedNs() << ",\n"
+       << "  \"comm_total_ns\": " << totalCommTotalNs() << ",\n"
+       << "  \"scheduler_ns\": " << totalSchedulerNs() << ",\n"
+       << "  \"cache_ns\": " << totalCacheNs() << ",\n"
+       << "  \"bytes_sent\": " << totalBytesSent() << ",\n"
+       << "  \"messages\": " << totalMessages() << ",\n"
+       << "  \"embeddings\": " << totalEmbeddings() << ",\n"
+       << "  \"static_cache_hit_rate\": " << staticCacheHitRate()
+       << ",\n"
+       << "  \"nodes\": [";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const NodeStats &n = nodes[i];
+        os << (i == 0 ? "\n" : ",\n")
+           << "    {\"compute_ns\": " << n.computeNs
+           << ", \"comm_exposed_ns\": " << n.commExposedNs
+           << ", \"comm_total_ns\": " << n.commTotalNs
+           << ", \"scheduler_ns\": " << n.schedulerNs
+           << ", \"cache_ns\": " << n.cacheNs
+           << ", \"bytes_sent\": " << n.bytesSent
+           << ", \"bytes_received\": " << n.bytesReceived
+           << ", \"messages_sent\": " << n.messagesSent
+           << ", \"lists_fetched_remote\": " << n.listsFetchedRemote
+           << ", \"lists_served_local\": " << n.listsServedLocal
+           << ", \"static_cache_hits\": " << n.staticCacheHits
+           << ", \"static_cache_misses\": " << n.staticCacheMisses
+           << ", \"static_cache_insertions\": "
+           << n.staticCacheInsertions
+           << ", \"horizontal_hits\": " << n.horizontalHits
+           << ", \"horizontal_drops\": " << n.horizontalDrops
+           << ", \"vertical_reuses\": " << n.verticalReuses
+           << ", \"embeddings_created\": " << n.embeddingsCreated
+           << ", \"intersection_items\": " << n.intersectionItems
+           << ", \"chunks_processed\": " << n.chunksProcessed
+           << ", \"peak_chunk_bytes\": " << n.peakChunkBytes << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+std::string
 RunStats::summary() const
 {
     std::ostringstream os;

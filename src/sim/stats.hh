@@ -102,6 +102,14 @@ struct RunStats
 
     /** Multi-line human-readable dump (for examples/debugging). */
     std::string summary() const;
+
+    /**
+     * Machine-readable dump: one JSON object with the run-level
+     * breakdown (compute/comm/scheduler/cache, traffic, cache hit
+     * rate) plus a per-node array — what `khuzdul --stats-json`
+     * writes so bench trajectories need no stdout parsing.
+     */
+    std::string toJson() const;
 };
 
 } // namespace sim

@@ -1,0 +1,70 @@
+#include "sim/trace.hh"
+
+#include <ostream>
+
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace sim
+{
+
+const char *
+phaseEventName(PhaseEvent event)
+{
+    switch (event) {
+      case PhaseEvent::ChunkOpen:
+        return "chunk_open";
+      case PhaseEvent::ChunkClose:
+        return "chunk_close";
+      case PhaseEvent::FetchBatchIssued:
+        return "fetch_batch_issued";
+      case PhaseEvent::FetchBatchCompleted:
+        return "fetch_batch_completed";
+      case PhaseEvent::ExtendStart:
+        return "extend_start";
+      case PhaseEvent::ExtendEnd:
+        return "extend_end";
+      case PhaseEvent::CacheHit:
+        return "cache_hit";
+      case PhaseEvent::CacheMiss:
+        return "cache_miss";
+    }
+    KHUZDUL_PANIC("unreachable phase event");
+}
+
+TraceSink &
+nullTraceSink()
+{
+    static NullTraceSink sink;
+    return sink;
+}
+
+std::uint64_t
+CountingTraceSink::total() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts_)
+        total += c;
+    return total;
+}
+
+void
+CountingTraceSink::reset()
+{
+    counts_.fill(0);
+    values_.fill(0);
+}
+
+void
+JsonLinesTraceSink::emit(const TraceRecord &record)
+{
+    *out_ << "{\"event\":\"" << phaseEventName(record.event)
+          << "\",\"unit\":" << record.unit
+          << ",\"level\":" << record.level
+          << ",\"value\":" << record.value
+          << ",\"aux\":" << record.aux << "}\n";
+}
+
+} // namespace sim
+} // namespace khuzdul

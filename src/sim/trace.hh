@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Phase-event tracing for the layered runtime.  Every layer of the
+ * engine (chunk explorer, edge-list provider, circulant scheduler)
+ * reports its phase transitions — chunk open/close, fetch batch
+ * issued/completed, extend start/end, cache hit/miss — through one
+ * TraceSink hook.  Tracing only observes: enabling or disabling a
+ * sink never changes counts, stats, or modeled time.
+ *
+ * Three sinks ship with the engine: the no-op NullTraceSink (the
+ * default), a CountingTraceSink whose per-event tallies cross-check
+ * the RunStats counters, and a JsonLinesTraceSink that streams one
+ * JSON object per event for offline analysis (CLI `--trace`).
+ */
+
+#ifndef KHUZDUL_SIM_TRACE_HH
+#define KHUZDUL_SIM_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+namespace khuzdul
+{
+namespace sim
+{
+
+/** Runtime phase transitions a TraceSink can observe. */
+enum class PhaseEvent : std::uint8_t
+{
+    ChunkOpen,           ///< a filled chunk enters processing
+    ChunkClose,          ///< the chunk's level is fully processed
+    FetchBatchIssued,    ///< one per-owner batch handed to the fabric
+    FetchBatchCompleted, ///< the batch's modeled transfer finished
+    ExtendStart,         ///< extension sweep over a chunk begins
+    ExtendEnd,           ///< extension sweep over a chunk ends
+    CacheHit,            ///< edge list served by the data cache
+    CacheMiss,           ///< cache probe missed; resolution continues
+};
+
+inline constexpr std::size_t kNumPhaseEvents = 8;
+
+/** Stable lowercase name (used by the JSON sink and tests). */
+const char *phaseEventName(PhaseEvent event);
+
+/** One phase transition.  The payload fields are event-specific:
+ *  bytes/lists for fetch batches, embedding counts for chunk and
+ *  extend events, the vertex id for cache probes. */
+struct TraceRecord
+{
+    PhaseEvent event;
+    unsigned unit = 0;        ///< reporting execution unit
+    int level = 0;            ///< chunk level (tree depth)
+    std::uint64_t value = 0;  ///< primary payload
+    std::uint64_t aux = 0;    ///< secondary payload
+};
+
+/** Phase-event hook.  Implementations must not mutate engine
+ *  state; they are observation only. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    virtual void emit(const TraceRecord &record) = 0;
+};
+
+/** Discards every event (the engine default). */
+class NullTraceSink final : public TraceSink
+{
+  public:
+    void emit(const TraceRecord &) override {}
+};
+
+/** Process-wide shared no-op sink. */
+TraceSink &nullTraceSink();
+
+/**
+ * Tallies events per type.  The engine keeps one internally so
+ * RunStats-level counters (chunks processed, cache hits/misses) can
+ * be cross-checked against the event stream.
+ */
+class CountingTraceSink final : public TraceSink
+{
+  public:
+    void
+    emit(const TraceRecord &record) override
+    {
+        ++counts_[static_cast<std::size_t>(record.event)];
+        values_[static_cast<std::size_t>(record.event)] += record.value;
+    }
+
+    std::uint64_t
+    count(PhaseEvent event) const
+    {
+        return counts_[static_cast<std::size_t>(event)];
+    }
+
+    /** Sum of the primary payload over all events of @p event. */
+    std::uint64_t
+    valueSum(PhaseEvent event) const
+    {
+        return values_[static_cast<std::size_t>(event)];
+    }
+
+    std::uint64_t total() const;
+
+    void reset();
+
+  private:
+    std::array<std::uint64_t, kNumPhaseEvents> counts_{};
+    std::array<std::uint64_t, kNumPhaseEvents> values_{};
+};
+
+/** Streams one JSON object per event (JSON-lines). */
+class JsonLinesTraceSink final : public TraceSink
+{
+  public:
+    /** @param out stream to append to (must outlive the sink). */
+    explicit JsonLinesTraceSink(std::ostream &out) : out_(&out) {}
+
+    void emit(const TraceRecord &record) override;
+
+  private:
+    std::ostream *out_;
+};
+
+/**
+ * Fans one event stream out to a fixed primary sink plus an
+ * optional, swappable secondary (how the engine chains its internal
+ * counters with a user-installed sink).
+ */
+class TeeTraceSink final : public TraceSink
+{
+  public:
+    explicit TeeTraceSink(TraceSink &primary) : primary_(&primary) {}
+
+    /** Install/replace/remove (nullptr) the secondary sink. */
+    void secondary(TraceSink *sink) { secondary_ = sink; }
+
+    void
+    emit(const TraceRecord &record) override
+    {
+        primary_->emit(record);
+        if (secondary_)
+            secondary_->emit(record);
+    }
+
+  private:
+    TraceSink *primary_;
+    TraceSink *secondary_ = nullptr;
+};
+
+} // namespace sim
+} // namespace khuzdul
+
+#endif // KHUZDUL_SIM_TRACE_HH

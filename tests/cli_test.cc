@@ -9,6 +9,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #ifndef KHUZDUL_CLI_PATH
@@ -40,6 +42,14 @@ TEST(Cli, HelpListsSubcommands)
     EXPECT_EQ(code, 0);
     EXPECT_NE(out.find("count"), std::string::npos);
     EXPECT_NE(out.find("fsm"), std::string::npos);
+}
+
+TEST(Cli, HelpTopicPrintsUsage)
+{
+    const auto [code, out] = runCli("help count");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("--pattern"), std::string::npos);
+    EXPECT_NE(out.find("--stats-json"), std::string::npos);
 }
 
 TEST(Cli, UnknownSubcommandFails)
@@ -113,6 +123,40 @@ TEST(Cli, MotifsAndFsmRun)
                             "--support 50 --max-edges 2 --nodes 2");
     EXPECT_EQ(fsm.first, 0);
     EXPECT_NE(fsm.second.find("frequent patterns"), std::string::npos);
+}
+
+TEST(Cli, StatsJsonWritesMachineReadableDump)
+{
+    const std::string path = testing::TempDir() + "/cli_stats.json";
+    const auto [code, out] =
+        runCli("count --graph er:500:2000:3 --pattern triangle "
+               "--nodes 2 --stats-json " + path);
+    EXPECT_EQ(code, 0);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string json = content.str();
+    EXPECT_NE(json.find("\"makespan_ns\":"), std::string::npos);
+    EXPECT_NE(json.find("\"bytes_sent\":"), std::string::npos);
+    EXPECT_NE(json.find("\"nodes\": ["), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, TraceWritesJsonLines)
+{
+    const std::string path = testing::TempDir() + "/cli_trace.jsonl";
+    const auto [code, out] =
+        runCli("count --graph er:500:2000:3 --pattern triangle "
+               "--nodes 2 --trace " + path);
+    EXPECT_EQ(code, 0);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+    EXPECT_EQ(line.rfind("{\"event\":\"", 0), 0u);
+    EXPECT_NE(line.find("\"unit\":"), std::string::npos);
+    std::remove(path.c_str());
 }
 
 TEST(Cli, BadInputsReportErrors)

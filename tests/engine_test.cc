@@ -218,6 +218,52 @@ TEST(Engine, StatsAccumulateAndReset)
     engine.resetStats();
     EXPECT_EQ(engine.stats().totalBytesSent(), 0u);
     EXPECT_EQ(engine.stats().totalEmbeddings(), 0u);
+    // The fabric ledger and every per-unit counter zero too.
+    EXPECT_EQ(engine.fabric().totalBytes(), 0u);
+    for (const auto &node : engine.stats().nodes) {
+        EXPECT_EQ(node.bytesReceived, 0u);
+        EXPECT_EQ(node.staticCacheMisses, 0u);
+        EXPECT_DOUBLE_EQ(node.computeNs, 0.0);
+    }
+}
+
+TEST(Engine, ResetStatsKeepsCachesWarm)
+{
+    // resetStats() zeroes counters and the fabric ledger but leaves
+    // cache *contents* resident: a repeat of the same pattern must
+    // admit nothing new, miss less, and move fewer bytes.
+    const Graph g = gen::rmat(400, 4000, 0.65, 0.15, 0.15, 43);
+    auto config = smallConfig(8);
+    config.horizontalSharing = false;
+    config.cacheDegreeThreshold = 32;
+    config.cacheFraction = 0.3;
+    core::Engine engine(g, config);
+    const auto plan = compileAutomine(Pattern::clique(4), {});
+
+    engine.run(plan);
+    std::uint64_t cold_misses = 0;
+    std::uint64_t cold_insertions = 0;
+    for (const auto &node : engine.stats().nodes) {
+        cold_misses += node.staticCacheMisses;
+        cold_insertions += node.staticCacheInsertions;
+    }
+    const std::uint64_t cold_bytes = engine.stats().totalBytesSent();
+    EXPECT_GT(cold_insertions, 0u);
+
+    engine.resetStats();
+    engine.run(plan);
+    std::uint64_t warm_misses = 0;
+    std::uint64_t warm_insertions = 0;
+    std::uint64_t warm_hits = 0;
+    for (const auto &node : engine.stats().nodes) {
+        warm_misses += node.staticCacheMisses;
+        warm_insertions += node.staticCacheInsertions;
+        warm_hits += node.staticCacheHits;
+    }
+    EXPECT_EQ(warm_insertions, 0u); // static cache: nothing re-admitted
+    EXPECT_LT(warm_misses, cold_misses);
+    EXPECT_GT(warm_hits, 0u);
+    EXPECT_LT(engine.stats().totalBytesSent(), cold_bytes);
 }
 
 TEST(Engine, SingleNodeHasNoNetworkTraffic)

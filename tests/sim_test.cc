@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/generators.hh"
 #include "graph/partition.hh"
 #include "sim/cluster.hh"
@@ -106,6 +108,58 @@ TEST(Fabric, ResetClearsLedger)
     EXPECT_EQ(fabric.linkMessages(0, 1), 0u);
 }
 
+TEST(Fabric, ResetClearsByteCapProgress)
+{
+    const Graph g = gen::cycle(64);
+    const Partition partition(g, 2, 1);
+    sim::CostModel cost;
+    sim::Fabric fabric(partition, cost);
+    fabric.setByteCap(1000);
+    fabric.recordTransfer(0, 1, 900, 1);
+    fabric.reset();
+    // The cap stays armed but its progress counter restarts, so the
+    // same volume fits again before the fault fires.
+    EXPECT_NO_THROW(fabric.recordTransfer(0, 1, 900, 1));
+    EXPECT_THROW(fabric.recordTransfer(0, 1, 200, 1), FatalError);
+}
+
+TEST(Fabric, ByteCapArmsMidRun)
+{
+    const Graph g = gen::cycle(64);
+    const Partition partition(g, 2, 1);
+    sim::CostModel cost;
+    sim::Fabric fabric(partition, cost);
+    // With the cap disabled any volume passes, but it still counts:
+    // arming mid-run compares against all bytes moved so far.
+    fabric.recordTransfer(0, 1, 5000, 2);
+    fabric.setByteCap(1000);
+    EXPECT_THROW(fabric.recordTransfer(0, 1, 1, 1), FatalError);
+    // Same-node (NUMA) traffic never counts against the cap.
+    EXPECT_NO_THROW(fabric.recordTransfer(1, 1, 4096, 1));
+}
+
+TEST(Fabric, PerLinkLedgerSumsToTotal)
+{
+    const Graph g = gen::cycle(64);
+    const Partition partition(g, 4, 1);
+    sim::CostModel cost;
+    sim::Fabric fabric(partition, cost);
+    fabric.recordTransfer(0, 1, 100, 1);
+    fabric.recordTransfer(1, 2, 200, 2);
+    fabric.recordTransfer(3, 0, 300, 1);
+    fabric.recordTransfer(2, 2, 999, 1); // same-node: not network
+    std::uint64_t bytes = 0;
+    for (NodeId src = 0; src < 4; ++src)
+        for (NodeId dst = 0; dst < 4; ++dst)
+            if (src != dst)
+                bytes += fabric.linkBytes(src, dst);
+    // Off-diagonal links sum to the cross-node total; the diagonal
+    // (NUMA traffic) is ledgered but never counts as network bytes.
+    EXPECT_EQ(bytes, fabric.totalBytes());
+    EXPECT_EQ(bytes, 600u);
+    EXPECT_EQ(fabric.linkBytes(2, 2), 999u);
+}
+
 TEST(RunStats, MakespanIsSlowestNodePlusStartup)
 {
     sim::RunStats stats;
@@ -151,6 +205,28 @@ TEST(RunStats, HitRateAndUtilization)
     stats.nodes[0].bytesSent = 3500;
     // busiest node sends 3500B over 1000ns at 7B/ns capacity: 50%.
     EXPECT_NEAR(stats.networkUtilization(7.0), 0.5, 1e-9);
+}
+
+TEST(RunStats, ToJsonCarriesTotalsAndNodes)
+{
+    sim::RunStats stats;
+    stats.nodes.resize(2);
+    stats.startupNs = 5;
+    stats.nodes[0].computeNs = 100;
+    stats.nodes[0].bytesSent = 1234;
+    stats.nodes[0].messagesSent = 3;
+    stats.nodes[1].staticCacheHits = 3;
+    stats.nodes[1].staticCacheMisses = 1;
+    const std::string json = stats.toJson();
+    EXPECT_NE(json.find("\"makespan_ns\": 105"), std::string::npos);
+    EXPECT_NE(json.find("\"bytes_sent\": 1234"), std::string::npos);
+    EXPECT_NE(json.find("\"messages\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"static_cache_hit_rate\": 0.75"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"nodes\": ["), std::string::npos);
+    // One object per node.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 3);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 3);
 }
 
 TEST(RunStats, EmptyStatsAreSafe)

@@ -33,6 +33,7 @@
 #include "graph/io.hh"
 #include "graph/orientation.hh"
 #include "pattern/planner.hh"
+#include "sim/trace.hh"
 #include "support/check.hh"
 #include "support/format.hh"
 #include "support/timer.hh"
@@ -241,6 +242,44 @@ systemFromArgs(const Graph &g, const Args &args)
                                             engineConfigFromArgs(args));
 }
 
+/**
+ * Optional `--trace FILE` wiring: an open stream plus the JSON-lines
+ * sink attached to the engine.  Kept alive until the command
+ * returns; both live on the heap so the sink's stream reference
+ * survives the return from attachTrace.
+ */
+struct TraceOutput
+{
+    std::unique_ptr<std::ofstream> file;
+    std::unique_ptr<sim::JsonLinesTraceSink> sink;
+};
+
+TraceOutput
+attachTrace(engines::KhuzdulSystem &system, const Args &args)
+{
+    TraceOutput out;
+    const std::string path = args.get("trace", "");
+    if (path.empty())
+        return out;
+    out.file = std::make_unique<std::ofstream>(path);
+    KHUZDUL_REQUIRE(out.file->is_open(), "cannot write " << path);
+    out.sink = std::make_unique<sim::JsonLinesTraceSink>(*out.file);
+    system.engine().setTraceSink(out.sink.get());
+    return out;
+}
+
+/** Optional `--stats-json FILE`: dump RunStats machine-readably. */
+void
+writeStatsJson(const sim::RunStats &stats, const Args &args)
+{
+    const std::string path = args.get("stats-json", "");
+    if (path.empty())
+        return;
+    std::ofstream out(path);
+    KHUZDUL_REQUIRE(out.is_open(), "cannot write " << path);
+    out << stats.toJson();
+}
+
 void
 printStats(const sim::RunStats &stats)
 {
@@ -345,6 +384,7 @@ cmdCount(const Args &args)
     const Graph g = loadGraph(args.get("graph", ""));
     const Pattern p = parsePattern(args.get("pattern", "triangle"));
     auto system = systemFromArgs(g, args);
+    const TraceOutput trace = attachTrace(*system, args);
     PlanOptions options;
     options.induced = args.has("induced");
     Timer timer;
@@ -352,6 +392,7 @@ cmdCount(const Args &args)
     std::printf("%s embeddings of %s\n", formatCount(count).c_str(),
                 p.toString().c_str());
     printStats(system->stats());
+    writeStatsJson(system->stats(), args);
     std::printf("host wall time:       %s\n",
                 formatTime(timer.elapsedNs()).c_str());
     return 0;
@@ -362,12 +403,14 @@ cmdMotifs(const Args &args)
 {
     const Graph g = loadGraph(args.get("graph", ""));
     auto system = systemFromArgs(g, args);
+    const TraceOutput trace = attachTrace(*system, args);
     const int k = static_cast<int>(args.getU64("size", 3));
     const auto census = apps::motifCount(*system, k);
     for (const auto &motif : census)
         std::printf("%-28s %16s\n", motif.pattern.toString().c_str(),
                     formatCount(motif.count).c_str());
     printStats(system->stats());
+    writeStatsJson(system->stats(), args);
     return 0;
 }
 
@@ -380,6 +423,7 @@ cmdFsm(const Args &args)
             g, static_cast<Label>(args.getU64("labels", 3)),
             args.getU64("label-seed", 1));
     auto system = systemFromArgs(g, args);
+    const TraceOutput trace = attachTrace(*system, args);
     apps::KhuzdulFsmBackend backend(*system);
     apps::FsmConfig config;
     config.minSupport = args.getU64("support", 100);
@@ -393,6 +437,7 @@ cmdFsm(const Args &args)
                     fp.pattern.toString().c_str(),
                     formatCount(fp.support).c_str());
     printStats(system->stats());
+    writeStatsJson(system->stats(), args);
     return 0;
 }
 
@@ -407,7 +452,8 @@ cmdHelp(const std::string &topic)
                   "  [--system automine|graphpi] [--induced]\n"
                   "  [--nodes N] [--sockets S] [--chunk-bytes B]\n"
                   "  [--cache-fraction F] [--no-cache] [--no-hds] "
-                  "[--no-numa]");
+                  "[--no-numa]\n"
+                  "  [--stats-json FILE] [--trace FILE]");
     } else {
         std::puts(
             "khuzdul — distributed graph pattern mining "
@@ -438,6 +484,10 @@ main(int argc, char **argv)
     if (argc < 2)
         return cmdHelp("");
     const std::string command = argv[1];
+    // Dispatch help before option parsing: its topic operand is not
+    // a --option and must not be rejected as one.
+    if (command == "help")
+        return cmdHelp(argc > 2 ? argv[2] : "");
     try {
         const Args args(argc, argv, 2);
         if (command == "generate")
@@ -454,8 +504,6 @@ main(int argc, char **argv)
             return cmdMotifs(args);
         if (command == "fsm")
             return cmdFsm(args);
-        if (command == "help")
-            return cmdHelp(argc > 2 ? argv[2] : "");
         std::fprintf(stderr, "unknown subcommand '%s'\n",
                      command.c_str());
         cmdHelp("");
