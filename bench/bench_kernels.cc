@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Set-kernel benchmark harness (BENCH_kernels.json).
+ *
+ * Three sections:
+ *   1. Pair sweeps — one small list against larger lists across a
+ *      size-ratio sweep, wall-clocking every kernel (merge, blocked,
+ *      gallop, adaptive dispatcher) on identical inputs and checking
+ *      outputs and canonical charges agree.
+ *   2. Hub-bitmap sweep — the same race against a real hub vertex's
+ *      neighbor list with its precomputed bitset, plus the memory
+ *      accounting of the bitmap index.
+ *   3. Engine A/B — full `count` runs per --kernel mode, asserting
+ *      counts and modeled makespans are mode-invariant while
+ *      reporting host wall-clock per mode.
+ *
+ * `--check` turns the harness into a CI perf-smoke gate: it fails
+ * (exit 1) if the adaptive dispatcher regresses more than 3x against
+ * the reference merge on any skewed sweep, or if any invariance
+ * check fails.  `--out FILE` overrides the JSON path.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.hh"
+#include "core/kernels/kernels.hh"
+#include "support/rng.hh"
+#include "support/timer.hh"
+
+namespace
+{
+
+using namespace khuzdul;
+
+std::vector<VertexId>
+sortedRandomList(std::size_t size, VertexId universe, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<VertexId> list(size);
+    for (auto &v : list)
+        v = static_cast<VertexId>(rng.nextBounded(universe));
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    return list;
+}
+
+/** Wall-clock one kernel invocation, auto-calibrating iterations to
+ *  a ~20 ms measurement window.  Returns ns per call. */
+template <typename Fn>
+double
+timeKernel(Fn &&fn)
+{
+    Timer probe;
+    fn();
+    const std::uint64_t once = std::max<std::uint64_t>(
+        probe.elapsedNs(), 50);
+    const std::uint64_t iters =
+        std::clamp<std::uint64_t>(20'000'000 / once, 10, 200'000);
+    Timer timer;
+    for (std::uint64_t i = 0; i < iters; ++i)
+        fn();
+    return static_cast<double>(timer.elapsedNs())
+        / static_cast<double>(iters);
+}
+
+struct SweepRow
+{
+    std::size_t small = 0;
+    std::size_t large = 0;
+    std::size_t ratio = 0;
+    bool bitmap_backed = false;
+    double mergeNs = 0;
+    double blockedNs = 0;
+    double gallopNs = 0;
+    double bitmapNs = -1; ///< -1 = no hub row for this input
+    double autoNs = 0;
+};
+
+bool failed = false;
+
+void
+fail(const std::string &why)
+{
+    std::fprintf(stderr, "FAIL: %s\n", why.c_str());
+    failed = true;
+}
+
+/** Race every kernel on (small, large); verify agreement, time each. */
+SweepRow
+racePair(std::span<const VertexId> small, std::span<const VertexId> large,
+         const Graph *graph, VertexId hub_source)
+{
+    SweepRow row;
+    row.small = small.size();
+    row.large = large.size();
+    row.ratio = small.empty() ? 0 : large.size() / small.size();
+
+    std::vector<VertexId> ref;
+    std::vector<VertexId> out;
+    const core::WorkItems ref_work =
+        core::intersectInto(small, large, ref);
+
+    const auto check = [&](const char *kernel, core::WorkItems work) {
+        if (out != ref)
+            fail(std::string(kernel) + " output mismatch");
+        if (work != ref_work)
+            fail(std::string(kernel) + " charge mismatch");
+    };
+    if (core::canonicalIntersectWork(small, large) != ref_work)
+        fail("canonical work formula disagrees with merge loop");
+    check("blocked", core::blockedIntersectInto(small, large, out));
+    check("gallop", core::gallopIntersectInto(small, large, out));
+
+    row.mergeNs = timeKernel(
+        [&] { core::intersectInto(small, large, out); });
+    row.blockedNs = timeKernel(
+        [&] { core::blockedIntersectInto(small, large, out); });
+    row.gallopNs = timeKernel(
+        [&] { core::gallopIntersectInto(small, large, out); });
+
+    const std::uint64_t *row_bits =
+        graph ? graph->hubBitmapRow(hub_source) : nullptr;
+    if (row_bits) {
+        row.bitmap_backed = true;
+        check("bitmap",
+              core::bitmapIntersectInto(small, large, row_bits, out));
+        row.bitmapNs = timeKernel([&] {
+            core::bitmapIntersectInto(small, large, row_bits, out);
+        });
+    }
+
+    core::KernelDispatcher dispatcher(core::KernelMode::Auto, graph);
+    check("dispatcher",
+          dispatcher.intersectInto(core::ListRef(small),
+                                   core::ListRef(large, hub_source),
+                                   out));
+    row.autoNs = timeKernel([&] {
+        dispatcher.intersectInto(core::ListRef(small),
+                                 core::ListRef(large, hub_source), out);
+    });
+    return row;
+}
+
+struct EngineRow
+{
+    std::string graph;
+    std::string pattern;
+    std::string mode;
+    Count count = 0;
+    double makespanNs = 0;
+    std::uint64_t wallNs = 0;
+    std::array<std::uint64_t, core::kNumKernelKinds> kernelCalls{};
+};
+
+EngineRow
+runEngine(const std::string &graph_name, const Graph &g,
+          const Pattern &pattern, core::KernelMode mode)
+{
+    EngineRow row;
+    row.graph = graph_name;
+    row.pattern = pattern.toString();
+    row.mode = core::kernelModeName(mode);
+    core::EngineConfig config = bench::standInEngineConfig();
+    config.kernelMode = mode;
+    auto system = engines::KhuzdulSystem::kGraphPi(g, config);
+    Timer timer;
+    row.count = system->count(pattern, {});
+    row.wallNs = timer.elapsedNs();
+    row.makespanNs = system->stats().makespanNs();
+    for (const sim::NodeStats &node : system->stats().nodes)
+        for (std::size_t k = 0; k < row.kernelCalls.size(); ++k)
+            row.kernelCalls[k] += node.kernelCalls[k];
+    return row;
+}
+
+std::string
+sweepJson(const std::vector<SweepRow> &rows)
+{
+    std::ostringstream os;
+    os.precision(15);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        os << (i == 0 ? "" : ",\n")
+           << "    {\"small\": " << r.small << ", \"large\": " << r.large
+           << ", \"ratio\": " << r.ratio
+           << ", \"bitmap_backed\": " << (r.bitmap_backed ? "true"
+                                                          : "false")
+           << ", \"merge_ns\": " << r.mergeNs
+           << ", \"blocked_ns\": " << r.blockedNs
+           << ", \"gallop_ns\": " << r.gallopNs
+           << ", \"bitmap_ns\": " << r.bitmapNs
+           << ", \"auto_ns\": " << r.autoNs
+           << ", \"speedup_auto_vs_merge\": "
+           << (r.autoNs > 0 ? r.mergeNs / r.autoNs : 0) << "}";
+    }
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_kernels.json";
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+    }
+
+    bench::banner("Set-kernel suite",
+                  "kernel dispatch microarchitecture (DESIGN.md 5.6)");
+
+    // --- 1. Synthetic pair sweeps across size ratios -------------
+    const std::size_t kSmall = 256;
+    const VertexId kUniverse = 1 << 20;
+    std::vector<SweepRow> sweeps;
+    bench::TablePrinter table(
+        {"ratio", "merge", "blocked", "gallop", "auto", "speedup"},
+        {6, 10, 10, 10, 10, 8});
+    table.printHeader();
+    for (const std::size_t ratio : {1ull, 4ull, 16ull, 64ull, 256ull}) {
+        const auto small = sortedRandomList(kSmall, kUniverse, 11);
+        const auto large =
+            sortedRandomList(kSmall * ratio, kUniverse, 12 + ratio);
+        SweepRow row = racePair(small, large, nullptr, kInvalidVertex);
+        sweeps.push_back(row);
+        char speedup[32];
+        std::snprintf(speedup, sizeof speedup, "%.2fx",
+                      row.mergeNs / row.autoNs);
+        table.printRow({std::to_string(ratio),
+                        bench::fmtTime(row.mergeNs),
+                        bench::fmtTime(row.blockedNs),
+                        bench::fmtTime(row.gallopNs),
+                        bench::fmtTime(row.autoNs), speedup});
+    }
+    table.printRule();
+
+    // --- 2. Hub-bitmap sweep on a stand-in graph -----------------
+    const datasets::Dataset &uk = datasets::byName("uk");
+    const Graph &g = uk.graph;
+    g.buildHubBitmaps(32, 32ull << 20);
+    VertexId hub = 0;
+    for (VertexId v = 1; v < g.numVertices(); ++v)
+        if (g.degree(v) > g.degree(hub))
+            hub = v;
+    std::printf("\nhub bitmaps on standin:uk — %zu rows, %s "
+                "(graph %s; hottest hub degree %llu)\n",
+                g.hubBitmapCount(),
+                formatBytes(g.hubBitmapBytes()).c_str(),
+                formatBytes(g.sizeBytes()).c_str(),
+                static_cast<unsigned long long>(g.degree(hub)));
+    std::vector<SweepRow> hub_sweeps;
+    for (const std::size_t size : {16u, 64u, 256u}) {
+        const auto small =
+            sortedRandomList(size, g.numVertices(), 13 + size);
+        hub_sweeps.push_back(
+            racePair(small, g.neighbors(hub), &g, hub));
+    }
+
+    // --- 3. Engine A/B across --kernel modes ---------------------
+    const datasets::Dataset &mc = datasets::byName("mc");
+    std::vector<EngineRow> engine_rows;
+    const core::KernelMode modes[] = {
+        core::KernelMode::Auto, core::KernelMode::Merge,
+        core::KernelMode::Gallop, core::KernelMode::Bitmap};
+    std::printf("\nengine A/B (standin:mc, 4-CC, graphpi plan):\n");
+    for (const core::KernelMode mode : modes) {
+        engine_rows.push_back(
+            runEngine("standin:mc", mc.graph, Pattern::clique(4), mode));
+        const EngineRow &r = engine_rows.back();
+        std::printf("  %-6s count %-12s makespan %-10s wall %s\n",
+                    r.mode.c_str(), formatCount(r.count).c_str(),
+                    bench::fmtTime(r.makespanNs).c_str(),
+                    formatTime(r.wallNs).c_str());
+    }
+    for (const EngineRow &r : engine_rows) {
+        if (r.count != engine_rows[0].count)
+            fail("engine count differs across kernel modes");
+        if (r.makespanNs != engine_rows[0].makespanNs)
+            fail("modeled makespan differs across kernel modes");
+    }
+
+    // --- Gate + JSON ---------------------------------------------
+    double best_skewed_speedup = 0;
+    for (const std::vector<SweepRow> *rows : {&sweeps, &hub_sweeps}) {
+        for (const SweepRow &r : *rows) {
+            const double speedup = r.mergeNs / r.autoNs;
+            if (r.ratio >= core::kGallopRatio)
+                best_skewed_speedup =
+                    std::max(best_skewed_speedup, speedup);
+            if (r.ratio >= core::kGallopRatio && speedup < 1.0 / 3.0)
+                fail("dispatcher >3x slower than merge at ratio "
+                     + std::to_string(r.ratio));
+        }
+    }
+    std::printf("\nbest skewed-sweep speedup (auto vs merge): %.2fx\n",
+                best_skewed_speedup);
+
+    std::ofstream out(out_path);
+    if (!out.is_open()) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    out.precision(15);
+    out << "{\n  \"pair_sweeps\": [\n" << sweepJson(sweeps)
+        << "\n  ],\n  \"hub_sweeps\": [\n" << sweepJson(hub_sweeps)
+        << "\n  ],\n  \"hub_bitmap\": {\"graph\": \"standin:uk\", "
+        << "\"rows\": " << g.hubBitmapCount()
+        << ", \"bytes\": " << g.hubBitmapBytes()
+        << ", \"degree_threshold\": " << g.hubBitmapDegreeThreshold()
+        << ", \"graph_bytes\": " << g.sizeBytes()
+        << ", \"overhead_vs_graph\": "
+        << (static_cast<double>(g.hubBitmapBytes())
+            / static_cast<double>(g.sizeBytes()))
+        << "},\n  \"engine_ab\": [\n";
+    for (std::size_t i = 0; i < engine_rows.size(); ++i) {
+        const EngineRow &r = engine_rows[i];
+        out << (i == 0 ? "" : ",\n")
+            << "    {\"graph\": \"" << r.graph << "\", \"pattern\": \""
+            << r.pattern << "\", \"mode\": \"" << r.mode
+            << "\", \"count\": " << r.count
+            << ", \"makespan_ns\": " << r.makespanNs
+            << ", \"wall_ns\": " << r.wallNs << ", \"kernel_calls\": {";
+        for (std::size_t k = 0; k < r.kernelCalls.size(); ++k)
+            out << (k == 0 ? "" : ", ") << "\""
+                << core::kernelKindName(
+                       static_cast<core::KernelKind>(k))
+                << "\": " << r.kernelCalls[k];
+        out << "}}";
+    }
+    out << "\n  ],\n  \"best_skewed_speedup\": " << best_skewed_speedup
+        << ",\n  \"check_passed\": " << (failed ? "false" : "true")
+        << "\n}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (check && failed)
+        return 1;
+    if (failed)
+        std::fprintf(stderr,
+                     "(invariance failures above; not gating "
+                     "without --check)\n");
+    return failed ? 1 : 0;
+}

@@ -10,7 +10,7 @@
 #include "core/cache.hh"
 #include "core/chunk.hh"
 #include "core/horizontal.hh"
-#include "core/intersect.hh"
+#include "core/kernels/kernels.hh"
 #include "graph/generators.hh"
 #include "pattern/planner.hh"
 #include "support/rng.hh"
@@ -77,6 +77,129 @@ BM_IntersectMany(benchmark::State &state)
     }
 }
 BENCHMARK(BM_IntersectMany)->Arg(2)->Arg(4)->Arg(6);
+
+/**
+ * Skewed-ratio intersections: a small list against one range(0)
+ * times larger.  Run per kernel so the crossover points behind the
+ * dispatch heuristics (kGallopRatio) are visible side by side.
+ */
+void
+BM_IntersectSkewMerge(benchmark::State &state)
+{
+    const auto small = sortedRandomList(256, 21);
+    const auto large =
+        sortedRandomList(256 * state.range(0), 22);
+    std::vector<VertexId> out;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::intersectInto(small, large, out));
+    state.SetItemsProcessed(state.iterations()
+                            * (small.size() + large.size()));
+}
+BENCHMARK(BM_IntersectSkewMerge)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_IntersectSkewGallop(benchmark::State &state)
+{
+    const auto small = sortedRandomList(256, 21);
+    const auto large =
+        sortedRandomList(256 * state.range(0), 22);
+    std::vector<VertexId> out;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::gallopIntersectInto(small, large, out));
+    state.SetItemsProcessed(state.iterations()
+                            * (small.size() + large.size()));
+}
+BENCHMARK(BM_IntersectSkewGallop)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_IntersectSkewDispatch(benchmark::State &state)
+{
+    const auto small = sortedRandomList(256, 21);
+    const auto large =
+        sortedRandomList(256 * state.range(0), 22);
+    core::KernelDispatcher dispatcher;
+    std::vector<VertexId> out;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dispatcher.intersectInto(
+            core::ListRef(small), core::ListRef(large), out));
+    state.SetItemsProcessed(state.iterations()
+                            * (small.size() + large.size()));
+}
+BENCHMARK(BM_IntersectSkewDispatch)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_IntersectBlocked(benchmark::State &state)
+{
+    const auto a = sortedRandomList(state.range(0), 1);
+    const auto b = sortedRandomList(state.range(0), 2);
+    std::vector<VertexId> out;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::blockedIntersectInto(a, b, out));
+    state.SetItemsProcessed(state.iterations()
+                            * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectBlocked)->Arg(64)->Arg(1024)->Arg(16384);
+
+/** Bitmap kernel against a real hub row on a skewed rmat graph. */
+void
+BM_IntersectBitmapHub(benchmark::State &state)
+{
+    const Graph g = gen::rmat(16384, 262144, 0.6, 0.15, 0.15, 11);
+    g.buildHubBitmaps(32, 32ull << 20);
+    VertexId hub = 0;
+    for (VertexId v = 1; v < g.numVertices(); ++v)
+        if (g.degree(v) > g.degree(hub))
+            hub = v;
+    const auto small = sortedRandomList(state.range(0), 23);
+    const auto hub_list = g.neighbors(hub);
+    const std::uint64_t *row = g.hubBitmapRow(hub);
+    std::vector<VertexId> out;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::bitmapIntersectInto(
+            small, hub_list, row, out));
+    state.SetItemsProcessed(state.iterations()
+                            * (small.size() + hub_list.size()));
+}
+BENCHMARK(BM_IntersectBitmapHub)->Arg(16)->Arg(64)->Arg(256);
+
+/**
+ * Membership probe at list sizes around kContainsLinearCutoff: the
+ * linear/binary pair this sweep sizes the cutoff from, plus the
+ * dispatching contains() itself.
+ */
+void
+BM_ContainsLinear(benchmark::State &state)
+{
+    const auto list = sortedRandomList(state.range(0), 31);
+    Rng rng(32);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::containsLinear(
+            list, static_cast<VertexId>(rng.nextBounded(1 << 20))));
+}
+BENCHMARK(BM_ContainsLinear)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_ContainsBinary(benchmark::State &state)
+{
+    const auto list = sortedRandomList(state.range(0), 31);
+    Rng rng(32);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::containsBinary(
+            list, static_cast<VertexId>(rng.nextBounded(1 << 20))));
+}
+BENCHMARK(BM_ContainsBinary)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_Contains(benchmark::State &state)
+{
+    const auto list = sortedRandomList(state.range(0), 31);
+    Rng rng(32);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::contains(
+            list, static_cast<VertexId>(rng.nextBounded(1 << 20))));
+}
+BENCHMARK(BM_Contains)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void
 BM_HorizontalTable(benchmark::State &state)

@@ -29,7 +29,8 @@ class HybridExplorer
         : engine_(engine), graph_(*engine.graph_), plan_(plan),
           visitor_(visitor), unit_(unit), stats_(stats),
           provider_(*engine.providers_[unit]),
-          extender_(*engine.graph_, plan, engine.config_.cost),
+          extender_(*engine.graph_, plan, engine.config_.cost,
+                    engine.config_.kernelMode),
           cores_(engine.computeCoresPerUnit())
     {
         const int n = plan.pattern.size();
@@ -162,8 +163,28 @@ class HybridExplorer
         stats_.computeNs += t.computeNs;
         stats_.commTotalNs += t.commNs;
         stats_.commExposedNs += t.exposedNs;
+        flushKernelCounters(level);
         trace().emit({sim::PhaseEvent::ChunkClose, unit_, level,
                       chunk.size(), 0});
+    }
+
+    /** Fold the dispatcher tallies accumulated since the previous
+     *  flush into stats, one KernelDispatch trace event per kernel
+     *  kind that ran (per-chunk deltas, not per-call events). */
+    void
+    flushKernelCounters(int level)
+    {
+        const KernelCounters &now = extender_.kernelCounters();
+        for (std::size_t k = 0; k < kNumKernelKinds; ++k) {
+            const std::uint64_t delta =
+                now.calls[k] - lastKernelCalls_[k];
+            if (delta == 0)
+                continue;
+            stats_.kernelCalls[k] += delta;
+            trace().emit({sim::PhaseEvent::KernelDispatch, unit_,
+                          level, delta, k});
+            lastKernelCalls_[k] = now.calls[k];
+        }
     }
 
     Engine &engine_;
@@ -182,6 +203,9 @@ class HybridExplorer
     std::vector<HorizontalTable> tables_;
     std::vector<CirculantScheduler> scheds_;
 
+    /** Dispatcher tallies already folded into stats/trace. */
+    std::array<std::uint64_t, kNumKernelKinds> lastKernelCalls_{};
+
     std::int64_t raw_ = 0;
 };
 
@@ -192,6 +216,11 @@ Engine::Engine(const Graph &g, const EngineConfig &config)
       fabric_(partition_, config_.cost)
 {
     stats_.nodes.resize(partition_.numUnits());
+    if ((config_.kernelMode == KernelMode::Auto
+         || config_.kernelMode == KernelMode::Bitmap)
+        && config_.hubBitmapMaxBytes > 0)
+        g.buildHubBitmaps(config_.hubBitmapDegreeThreshold,
+                          config_.hubBitmapMaxBytes);
     const double per_node = config_.cacheFraction
         * static_cast<double>(g.sizeBytes());
     const std::uint64_t per_unit = static_cast<std::uint64_t>(

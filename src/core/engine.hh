@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/cache.hh"
+#include "core/kernels/kernels.hh"
 #include "core/provider.hh"
 #include "core/visitor.hh"
 #include "graph/graph.hh"
@@ -93,6 +94,20 @@ struct EngineConfig
 
     /** Embeddings per dynamically-dispatched mini-batch (§6). */
     unsigned miniBatchSize = 64;
+
+    /** Set-kernel dispatch policy (core/kernels): Auto adapts per
+     *  call; other modes force one kernel for A/B runs.  Charges
+     *  are canonical, so the mode never changes modeled results. */
+    KernelMode kernelMode = KernelMode::Auto;
+
+    /** Hub-bitmap admission degree threshold, aligned with the
+     *  static cache's §5.3 threshold: the same hot vertices whose
+     *  lists are cached everywhere get dense bitsets. */
+    EdgeId hubBitmapDegreeThreshold = 32;
+
+    /** Byte cap on hub bitmap rows (hottest-first admission);
+     *  0 disables the bitmap kernel entirely. */
+    std::uint64_t hubBitmapMaxBytes = 32ull << 20;
 };
 
 /**

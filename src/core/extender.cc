@@ -1,7 +1,5 @@
 #include "core/extender.hh"
 
-#include "core/intersect.hh"
-
 namespace khuzdul
 {
 namespace core
@@ -22,17 +20,27 @@ PlanExtender::buildCandidates(int t, std::span<const VertexId> stored,
         std::size_t lists = 0;
         for (int j = 0; j < t; ++j)
             if ((dep >> j) & 1u)
-                listBuf_[lists++] = graph_->neighbors(vertices_[j]);
-        work += intersectMany({listBuf_.data(), lists}, candidates_,
-                              scratchA_);
+                listBuf_[lists++] = {graph_->neighbors(vertices_[j]),
+                                     vertices_[j]};
+        if (lists == 1) {
+            // Aliasing one already-fetched edge list: the transfer
+            // was charged by the provider layer, so the working copy
+            // is free in the model (charging convention, kernels.hh).
+            candidates_.assign(listBuf_[0].list.begin(),
+                               listBuf_[0].list.end());
+        } else {
+            work += dispatcher_.intersectMany({listBuf_.data(), lists},
+                                              candidates_, scratchA_);
+        }
         dep = 0;
     }
     for (int j = 0; j < t; ++j) {
         if ((dep >> j) & 1u) {
             scratchB_.clear();
-            work += intersectInto(candidates_,
-                                  graph_->neighbors(vertices_[j]),
-                                  scratchB_);
+            work += dispatcher_.intersectInto(
+                ListRef(candidates_),
+                {graph_->neighbors(vertices_[j]), vertices_[j]},
+                scratchB_);
             candidates_.swap(scratchB_);
         }
     }
@@ -41,9 +49,10 @@ PlanExtender::buildCandidates(int t, std::span<const VertexId> stored,
     for (int j = 0; j < t; ++j) {
         if ((anti >> j) & 1u) {
             scratchB_.clear();
-            work += subtractInto(candidates_,
-                                 graph_->neighbors(vertices_[j]),
-                                 scratchB_);
+            work += dispatcher_.subtractInto(
+                ListRef(candidates_),
+                {graph_->neighbors(vertices_[j]), vertices_[j]},
+                scratchB_);
             candidates_.swap(scratchB_);
         }
     }
@@ -83,18 +92,20 @@ PlanExtender::iepTerminal(int prefix_len,
         if (reuse) {
             // Vertical sharing into the IEP: start from this
             // embedding's stored candidate set.
-            listBuf_[lists++] = stored;
+            listBuf_[lists++] = ListRef(stored);
             ++stats.verticalReuses;
             for (int j = 0; j < prefix_len; ++j)
                 if ((plan_->iep.maskExtra[m] >> j) & 1u)
-                    listBuf_[lists++] = graph_->neighbors(vertices_[j]);
+                    listBuf_[lists++] =
+                        {graph_->neighbors(vertices_[j]), vertices_[j]};
         } else {
             for (int j = 0; j < prefix_len; ++j)
                 if ((mask >> j) & 1u)
-                    listBuf_[lists++] = graph_->neighbors(vertices_[j]);
+                    listBuf_[lists++] =
+                        {graph_->neighbors(vertices_[j]), vertices_[j]};
         }
         Count count = 0;
-        const WorkItems work = intersectManyCount(
+        const WorkItems work = dispatcher_.intersectManyCount(
             {listBuf_.data(), lists}, count, scratchA_, scratchB_);
         stats.intersectionItems += work;
         workNs_ += static_cast<double>(work) * cost_->intersectPerItemNs;
@@ -102,7 +113,7 @@ PlanExtender::iepTerminal(int prefix_len,
         for (int j = 0; j < prefix_len; ++j) {
             bool inside = true;
             for (std::size_t l = 0; l < lists && inside; ++l)
-                inside = contains(listBuf_[l], vertices_[j]);
+                inside = contains(listBuf_[l].list, vertices_[j]);
             if (inside)
                 --size;
         }

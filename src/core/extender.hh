@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/chunk.hh"
+#include "core/kernels/kernels.hh"
 #include "core/visitor.hh"
 #include "graph/graph.hh"
 #include "pattern/plan.hh"
@@ -36,8 +37,10 @@ class PlanExtender
 {
   public:
     PlanExtender(const Graph &g, const ExtendPlan &plan,
-                 const sim::CostModel &cost)
-        : graph_(&g), plan_(&plan), cost_(&cost)
+                 const sim::CostModel &cost,
+                 KernelMode kernel_mode = KernelMode::Auto)
+        : graph_(&g), plan_(&plan), cost_(&cost),
+          dispatcher_(kernel_mode, &g)
     {}
 
     /** Walk parent pointers to recover the embedding's vertices. */
@@ -113,13 +116,21 @@ class PlanExtender
 
     double workNs() const { return workNs_; }
 
+    /** Per-kind tallies of the kernels dispatched so far. */
+    const KernelCounters &
+    kernelCounters() const
+    {
+        return dispatcher_.counters();
+    }
+
   private:
     const Graph *graph_;
     const ExtendPlan *plan_;
     const sim::CostModel *cost_;
+    KernelDispatcher dispatcher_;
 
     std::array<VertexId, kMaxPatternSize> vertices_{};
-    std::array<std::span<const VertexId>, kMaxPatternSize> listBuf_{};
+    std::array<ListRef, kMaxPatternSize> listBuf_{};
     std::vector<VertexId> candidates_;
     std::vector<VertexId> scratchA_;
     std::vector<VertexId> scratchB_;

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hub-bitmap kernels: when one side of a set operation is the full
+ * neighbor list of a hub vertex whose dense bitset was precomputed
+ * (Graph::buildHubBitmaps), the smaller list drives and each element
+ * costs one O(1) bit test — no merge scan over the (large) hub list.
+ * Charges stay canonical merge-equivalent work.
+ */
+
+#include "core/kernels/kernels.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+namespace
+{
+
+inline bool
+testBit(const std::uint64_t *row, VertexId v)
+{
+    return (row[v >> 6] >> (v & 63)) & 1u;
+}
+
+} // namespace
+
+WorkItems
+bitmapIntersectInto(std::span<const VertexId> a,
+                    std::span<const VertexId> hub_list,
+                    const std::uint64_t *row, std::vector<VertexId> &out)
+{
+    out.clear();
+    const WorkItems work = canonicalIntersectWork(a, hub_list);
+    for (const VertexId x : a)
+        if (testBit(row, x))
+            out.push_back(x);
+    return work;
+}
+
+WorkItems
+bitmapIntersectCount(std::span<const VertexId> a,
+                     std::span<const VertexId> hub_list,
+                     const std::uint64_t *row, Count &count)
+{
+    count = 0;
+    const WorkItems work = canonicalIntersectWork(a, hub_list);
+    for (const VertexId x : a)
+        count += testBit(row, x);
+    return work;
+}
+
+WorkItems
+bitmapSubtractInto(std::span<const VertexId> a,
+                   std::span<const VertexId> hub_list,
+                   const std::uint64_t *row, std::vector<VertexId> &out)
+{
+    out.clear();
+    const WorkItems work = canonicalSubtractWork(a, hub_list);
+    for (const VertexId x : a)
+        if (!testBit(row, x))
+            out.push_back(x);
+    return work;
+}
+
+} // namespace core
+} // namespace khuzdul

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Adaptive sorted-list set-kernel suite: the computational heart of
+ * pattern-aware enumeration (every extension is an intersection of
+ * active edge lists, §3.1).  Four interchangeable kernels implement
+ * each set operation:
+ *
+ *   - Merge: the reference two-pointer merge (the modeled machine);
+ *   - Blocked: an unrolled, branch-light merge for near-equal sizes;
+ *   - Gallop: exponential-probe binary search driven by the smaller
+ *     list, for skewed size ratios (hub vs. candidate lists);
+ *   - Bitmap: per-element bit tests against a precomputed hub-vertex
+ *     bitset stored on the Graph (Graph::buildHubBitmaps).
+ *
+ * A KernelDispatcher picks the kernel per call from the size ratio
+ * and hub-bitmap availability (or a forced KernelMode for A/B runs).
+ *
+ * ## Charging convention (canonical work)
+ *
+ * Kernels return WorkItems — the modeled compute charge consumed by
+ * sim::CostModel.  The charge is *canonical*: every kernel reports
+ * the element count the reference two-pointer merge would have
+ * consumed on the same inputs, regardless of how few elements the
+ * kernel actually touched.  For strictly-sorted duplicate-free
+ * spans (the CSR invariant) that count has a closed form evaluated
+ * with one binary search (canonicalIntersectWork /
+ * canonicalSubtractWork), so modeled makespans, RunStats and every
+ * EXPERIMENTS.md shape are bit-identical no matter which kernel
+ * ran; only host wall-clock changes.  Operations that copy rather
+ * than merge charge one WorkItem per element copied (the
+ * intersectMany single-list pass-through); O(1) reads (the
+ * intersectManyCount single-list size probe) charge 0.  Callers
+ * that alias an already-materialized list instead of copying charge
+ * nothing — the transfer was already charged by the provider layer.
+ *
+ * All kernels require strictly ascending, duplicate-free inputs and
+ * produce outputs that are element-for-element identical to the
+ * reference merge.
+ */
+
+#ifndef KHUZDUL_CORE_KERNELS_KERNELS_HH
+#define KHUZDUL_CORE_KERNELS_KERNELS_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "support/types.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+/** Work units charged by a kernel (canonical merge elements). */
+using WorkItems = std::uint64_t;
+
+/** The kernel that executed one set operation. */
+enum class KernelKind : std::uint8_t
+{
+    Merge,   ///< reference two-pointer merge
+    Blocked, ///< unrolled branch-light merge (near-equal sizes)
+    Gallop,  ///< galloping binary search (skewed ratios)
+    Bitmap,  ///< hub-vertex bitset probe (Graph::hubBitmapRow)
+};
+
+inline constexpr std::size_t kNumKernelKinds = 4;
+
+/** Stable lowercase name ("merge", "blocked", "gallop", "bitmap"). */
+const char *kernelKindName(KernelKind kind);
+
+/** Dispatcher policy: adaptive, or one kernel forced for A/B. */
+enum class KernelMode : std::uint8_t
+{
+    Auto,   ///< pick per call from size ratio + bitmap availability
+    Merge,  ///< always the reference merge (the modeled machine)
+    Gallop, ///< always galloping search
+    Bitmap, ///< bitmap wherever a hub row exists, else merge
+};
+
+/** Stable lowercase name ("auto", "merge", "gallop", "bitmap"). */
+const char *kernelModeName(KernelMode mode);
+
+/** Parse a --kernel value; aborts on unknown names. */
+KernelMode parseKernelMode(const std::string &name);
+
+/** Per-kind dispatch tallies (pairwise kernel executions). */
+struct KernelCounters
+{
+    std::array<std::uint64_t, kNumKernelKinds> calls{};
+
+    std::uint64_t
+    operator[](KernelKind kind) const
+    {
+        return calls[static_cast<std::size_t>(kind)];
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const std::uint64_t c : calls)
+            sum += c;
+        return sum;
+    }
+};
+
+/**
+ * A sorted list plus its provenance: when the span is exactly the
+ * full neighbor list N(source) the dispatcher can substitute the
+ * source's hub bitmap.  Intermediate results carry no source.
+ */
+struct ListRef
+{
+    std::span<const VertexId> list;
+    VertexId source = kInvalidVertex;
+
+    ListRef() = default;
+    ListRef(std::span<const VertexId> l, VertexId src = kInvalidVertex)
+        : list(l), source(src)
+    {}
+    ListRef(const std::vector<VertexId> &l) : list(l) {}
+
+    std::size_t size() const { return list.size(); }
+};
+
+/** @name Canonical (merge-equivalent) work, in closed form
+ *
+ * What the reference two-pointer loop would consume on
+ * strictly-sorted duplicate-free inputs, computed with one binary
+ * search instead of running the merge.
+ */
+/// @{
+WorkItems canonicalIntersectWork(std::span<const VertexId> a,
+                                 std::span<const VertexId> b);
+WorkItems canonicalSubtractWork(std::span<const VertexId> a,
+                                std::span<const VertexId> b);
+/// @}
+
+/** @name Reference merge kernels (today's modeled machine)
+ *
+ * These free functions are the canonical implementations: every
+ * other kernel must match their output element-for-element and
+ * their WorkItems exactly.
+ */
+/// @{
+
+/** out = a ∩ b (out may not alias inputs). */
+WorkItems intersectInto(std::span<const VertexId> a,
+                        std::span<const VertexId> b,
+                        std::vector<VertexId> &out);
+
+/** |a ∩ b| without materializing. */
+WorkItems intersectCount(std::span<const VertexId> a,
+                         std::span<const VertexId> b, Count &count);
+
+/** out = a \ b (sorted difference; induced matching). */
+WorkItems subtractInto(std::span<const VertexId> a,
+                       std::span<const VertexId> b,
+                       std::vector<VertexId> &out);
+
+/**
+ * out = intersection of all @p lists (1..8), folded smallest-first
+ * (stable on size ties) to keep intermediates tight.  A single list
+ * is copied into @p out and charged one WorkItem per element copied.
+ */
+WorkItems intersectMany(std::span<const std::span<const VertexId>> lists,
+                        std::vector<VertexId> &out,
+                        std::vector<VertexId> &scratch);
+
+/**
+ * |intersection of all lists| without materializing the result.
+ * Both scratch buffers are clobbered.  A single list is an O(1)
+ * size probe and charges 0.
+ */
+WorkItems intersectManyCount(
+    std::span<const std::span<const VertexId>> lists, Count &count,
+    std::vector<VertexId> &scratch_a, std::vector<VertexId> &scratch_b);
+/// @}
+
+/** @name Membership probe
+ *
+ * Linear scan below kContainsLinearCutoff (branch-predictable, no
+ * pipeline flush from the halving loop), binary search above; the
+ * cutoff is benchmarked in micro_core (BM_Contains*).
+ */
+/// @{
+inline constexpr std::size_t kContainsLinearCutoff = 32;
+
+bool contains(std::span<const VertexId> list, VertexId v);
+bool containsLinear(std::span<const VertexId> list, VertexId v);
+bool containsBinary(std::span<const VertexId> list, VertexId v);
+/// @}
+
+/** @name Alternative kernels (dispatched; also exposed for bench) */
+/// @{
+WorkItems blockedIntersectInto(std::span<const VertexId> a,
+                               std::span<const VertexId> b,
+                               std::vector<VertexId> &out);
+WorkItems blockedIntersectCount(std::span<const VertexId> a,
+                                std::span<const VertexId> b,
+                                Count &count);
+
+/** Galloping kernels; @p a should be the smaller (driving) list. */
+WorkItems gallopIntersectInto(std::span<const VertexId> a,
+                              std::span<const VertexId> b,
+                              std::vector<VertexId> &out);
+WorkItems gallopIntersectCount(std::span<const VertexId> a,
+                               std::span<const VertexId> b,
+                               Count &count);
+WorkItems gallopSubtractInto(std::span<const VertexId> a,
+                             std::span<const VertexId> b,
+                             std::vector<VertexId> &out);
+
+/**
+ * Bitmap kernels: @p hub_list is N(h) and @p row its bitmap words
+ * (Graph::hubBitmapRow(h)); the smaller list @p a drives.
+ */
+WorkItems bitmapIntersectInto(std::span<const VertexId> a,
+                              std::span<const VertexId> hub_list,
+                              const std::uint64_t *row,
+                              std::vector<VertexId> &out);
+WorkItems bitmapIntersectCount(std::span<const VertexId> a,
+                               std::span<const VertexId> hub_list,
+                               const std::uint64_t *row, Count &count);
+WorkItems bitmapSubtractInto(std::span<const VertexId> a,
+                             std::span<const VertexId> hub_list,
+                             const std::uint64_t *row,
+                             std::vector<VertexId> &out);
+/// @}
+
+/** @name Dispatch heuristics (size-ratio thresholds) */
+/// @{
+/** Gallop when the larger list is >= this multiple of the smaller. */
+inline constexpr std::size_t kGallopRatio = 16;
+/** Bitmap (if a hub row exists) at this ratio and above. */
+inline constexpr std::size_t kBitmapRatio = 4;
+/** Blocked merge only when both lists have at least this many. */
+inline constexpr std::size_t kBlockedMinSize = 32;
+/// @}
+
+/**
+ * Per-call kernel selection.  One dispatcher per execution unit
+ * (PlanExtender / plan-runner instance); counters attribute every
+ * pairwise set operation to the kernel that executed it.  Charged
+ * WorkItems are canonical (see file header), so the choice of mode
+ * never changes modeled time or stats — only wall-clock.
+ */
+class KernelDispatcher
+{
+  public:
+    explicit KernelDispatcher(KernelMode mode = KernelMode::Auto,
+                              const Graph *graph = nullptr)
+        : mode_(mode), graph_(graph)
+    {}
+
+    KernelMode mode() const { return mode_; }
+
+    const KernelCounters &counters() const { return counters_; }
+
+    WorkItems intersectInto(const ListRef &a, const ListRef &b,
+                            std::vector<VertexId> &out);
+    WorkItems intersectCount(const ListRef &a, const ListRef &b,
+                             Count &count);
+    WorkItems subtractInto(const ListRef &a, const ListRef &b,
+                           std::vector<VertexId> &out);
+
+    /** Smallest-first folds mirroring the reference free functions
+     *  (identical fold order, hence identical canonical charges). */
+    WorkItems intersectMany(std::span<const ListRef> lists,
+                            std::vector<VertexId> &out,
+                            std::vector<VertexId> &scratch);
+    WorkItems intersectManyCount(std::span<const ListRef> lists,
+                                 Count &count,
+                                 std::vector<VertexId> &scratch_a,
+                                 std::vector<VertexId> &scratch_b);
+
+  private:
+    /** Hub bitmap of @p ref's source, or nullptr. */
+    const std::uint64_t *rowFor(const ListRef &ref) const;
+
+    KernelMode mode_;
+    const Graph *graph_;
+    KernelCounters counters_;
+};
+
+} // namespace core
+} // namespace khuzdul
+
+#endif // KHUZDUL_CORE_KERNELS_KERNELS_HH

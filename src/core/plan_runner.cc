@@ -31,12 +31,17 @@ struct Runner
 
     std::vector<VertexId> scratchA;
     std::vector<VertexId> scratchB;
-    std::array<std::span<const VertexId>, kMaxPatternSize> listBuf{};
+    std::array<ListRef, kMaxPatternSize> listBuf{};
+
+    /** Baselines always run the adaptive dispatcher; charges are
+     *  canonical, so their workItems match the pre-kernel runner. */
+    KernelDispatcher dispatcher;
 
     explicit
     Runner(const Graph &graph, const ExtendPlan &p, MatchVisitor *vis,
            RunnerHooks *hk)
-        : g(graph), plan(p), visitor(vis), hooks(hk)
+        : g(graph), plan(p), visitor(vis), hooks(hk),
+          dispatcher(KernelMode::Auto, &graph)
     {}
 
     std::span<const VertexId>
@@ -66,17 +71,26 @@ struct Runner
             std::size_t lists = 0;
             for (int j = 0; j < t; ++j)
                 if ((dep >> j) & 1u)
-                    listBuf[lists++] = edgeList(vertices[j]);
-            result.workItems += intersectMany(
-                {listBuf.data(), lists}, out, scratchA);
+                    listBuf[lists++] = {edgeList(vertices[j]),
+                                        vertices[j]};
+            if (lists == 1) {
+                // Aliasing one already-fetched edge list is free in
+                // the model (charging convention, kernels.hh).
+                out.assign(listBuf[0].list.begin(),
+                           listBuf[0].list.end());
+            } else {
+                result.workItems += dispatcher.intersectMany(
+                    {listBuf.data(), lists}, out, scratchA);
+            }
             dep = 0;
         }
         // Extra deps of a reused result are folded in one by one.
         for (int j = 0; j < t; ++j) {
             if ((dep >> j) & 1u) {
                 scratchB.clear();
-                result.workItems += intersectInto(
-                    out, edgeList(vertices[j]), scratchB);
+                result.workItems += dispatcher.intersectInto(
+                    ListRef(out), {edgeList(vertices[j]), vertices[j]},
+                    scratchB);
                 out.swap(scratchB);
             }
         }
@@ -87,8 +101,9 @@ struct Runner
         for (int j = 0; j < t; ++j) {
             if ((anti >> j) & 1u) {
                 scratchB.clear();
-                result.workItems += subtractInto(
-                    out, edgeList(vertices[j]), scratchB);
+                result.workItems += dispatcher.subtractInto(
+                    ListRef(out), {edgeList(vertices[j]), vertices[j]},
+                    scratchB);
                 out.swap(scratchB);
             }
         }
@@ -124,24 +139,26 @@ struct Runner
             std::size_t lists = 0;
             if (reuse) {
                 // Vertical sharing into the IEP block.
-                listBuf[lists++] = candidates[prefix_len - 1];
+                listBuf[lists++] = ListRef(candidates[prefix_len - 1]);
                 for (int j = 0; j < prefix_len; ++j)
                     if ((plan.iep.maskExtra[m] >> j) & 1u)
-                        listBuf[lists++] = edgeList(vertices[j]);
+                        listBuf[lists++] = {edgeList(vertices[j]),
+                                            vertices[j]};
             } else {
                 for (int j = 0; j < prefix_len; ++j)
                     if ((mask >> j) & 1u)
-                        listBuf[lists++] = edgeList(vertices[j]);
+                        listBuf[lists++] = {edgeList(vertices[j]),
+                                            vertices[j]};
             }
             Count count = 0;
-            result.workItems += intersectManyCount(
+            result.workItems += dispatcher.intersectManyCount(
                 {listBuf.data(), lists}, count, scratchA, scratchB);
             std::int64_t size = static_cast<std::int64_t>(count);
             // Candidate sets must exclude already-matched vertices.
             for (int j = 0; j < prefix_len; ++j) {
                 bool inside = true;
                 for (std::size_t l = 0; l < lists && inside; ++l)
-                    inside = contains(listBuf[l], vertices[j]);
+                    inside = contains(listBuf[l].list, vertices[j]);
                 if (inside)
                     --size;
             }

@@ -14,7 +14,7 @@
 
 #include <span>
 
-#include "core/intersect.hh"
+#include "core/kernels/kernels.hh"
 #include "core/visitor.hh"
 #include "graph/graph.hh"
 #include "pattern/plan.hh"

@@ -31,6 +31,56 @@ Graph::hasEdge(VertexId u, VertexId v) const
 }
 
 void
+Graph::buildHubBitmaps(EdgeId degree_threshold,
+                       std::uint64_t max_bytes) const
+{
+    if (hubBitmapsBuilt_ && hubThreshold_ == degree_threshold
+        && hubMaxBytes_ == max_bytes)
+        return;
+    const VertexId n = numVertices();
+    hubWords_.clear();
+    hubSlots_.assign(n, kNoHubSlot);
+    hubWordsPerRow_ = (static_cast<std::size_t>(n) + 63) / 64;
+    hubCount_ = 0;
+    hubThreshold_ = degree_threshold;
+    hubMaxBytes_ = max_bytes;
+    hubBitmapsBuilt_ = true;
+
+    const std::uint64_t row_bytes =
+        hubWordsPerRow_ * sizeof(std::uint64_t);
+    if (n == 0 || degree_threshold == 0 || row_bytes == 0
+        || row_bytes > max_bytes)
+        return;
+
+    // Hottest-first admission under the byte cap: degree descending,
+    // vertex id ascending on ties — deterministic, so the dispatch
+    // decisions downstream are too.
+    std::vector<VertexId> hubs;
+    for (VertexId v = 0; v < n; ++v)
+        if (degree(v) >= degree_threshold)
+            hubs.push_back(v);
+    std::sort(hubs.begin(), hubs.end(),
+              [this](VertexId a, VertexId b) {
+                  const EdgeId da = degree(a);
+                  const EdgeId db = degree(b);
+                  return da != db ? da > db : a < b;
+              });
+    const std::size_t cap = static_cast<std::size_t>(max_bytes / row_bytes);
+    if (hubs.size() > cap)
+        hubs.resize(cap);
+
+    hubWords_.assign(hubs.size() * hubWordsPerRow_, 0);
+    for (std::size_t slot = 0; slot < hubs.size(); ++slot) {
+        const VertexId v = hubs[slot];
+        std::uint64_t *row = hubWords_.data() + slot * hubWordsPerRow_;
+        for (const VertexId u : neighbors(v))
+            row[u >> 6] |= std::uint64_t{1} << (u & 63);
+        hubSlots_[v] = static_cast<std::uint32_t>(slot);
+    }
+    hubCount_ = hubs.size();
+}
+
+void
 Graph::setLabels(std::vector<Label> labels)
 {
     KHUZDUL_REQUIRE(labels.size() == numVertices(),

@@ -120,13 +120,68 @@ class Graph
         return degree(v) * sizeof(VertexId);
     }
 
+    /** @name Hub-vertex bitmap index
+     *
+     * Dense neighbor bitsets for hot (high-degree) vertices, the
+     * backing store of the bitmap intersection kernel
+     * (core/kernels).  Admission is hottest-first (degree
+     * descending, vertex id ascending on ties) among vertices with
+     * degree >= the threshold, until @p max_bytes of rows are
+     * allocated — deterministic, so kernel dispatch is too.  The
+     * index is a lazily built, observation-only acceleration
+     * structure: it never affects counts, modeled time or traffic,
+     * which is why building through a const Graph is sound.
+     */
+    /// @{
+
+    /** Build (or rebuild, when parameters change) the index. */
+    void buildHubBitmaps(EdgeId degree_threshold,
+                         std::uint64_t max_bytes) const;
+
+    bool hubBitmapsBuilt() const { return hubBitmapsBuilt_; }
+
+    /** Admission degree threshold of the last build. */
+    EdgeId hubBitmapDegreeThreshold() const { return hubThreshold_; }
+
+    /** Bytes held by bitmap rows (the memory-overhead figure). */
+    std::uint64_t
+    hubBitmapBytes() const
+    {
+        return hubWords_.size() * sizeof(std::uint64_t);
+    }
+
+    /** Number of vertices with a bitmap row. */
+    std::size_t hubBitmapCount() const { return hubCount_; }
+
+    /** Bitmap words of N(v), or nullptr when v has no row. */
+    const std::uint64_t *
+    hubBitmapRow(VertexId v) const
+    {
+        if (hubSlots_.empty() || hubSlots_[v] == kNoHubSlot)
+            return nullptr;
+        return hubWords_.data()
+            + static_cast<std::size_t>(hubSlots_[v]) * hubWordsPerRow_;
+    }
+    /// @}
+
   private:
+    static constexpr std::uint32_t kNoHubSlot = 0xffffffffu;
+
     std::vector<EdgeId> offsets_;
     std::vector<VertexId> adjacency_;
     std::vector<Label> labels_;
     EdgeId maxDegree_ = 0;
     Label numLabels_ = 0;
     bool directed_ = false;
+
+    /** Hub bitmap index (lazily built; see buildHubBitmaps). */
+    mutable std::vector<std::uint64_t> hubWords_;
+    mutable std::vector<std::uint32_t> hubSlots_;
+    mutable std::size_t hubWordsPerRow_ = 0;
+    mutable std::size_t hubCount_ = 0;
+    mutable EdgeId hubThreshold_ = 0;
+    mutable std::uint64_t hubMaxBytes_ = 0;
+    mutable bool hubBitmapsBuilt_ = false;
 };
 
 } // namespace khuzdul

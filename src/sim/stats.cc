@@ -152,6 +152,8 @@ RunStats::accumulate(const RunStats &other)
         dst.chunksProcessed += src.chunksProcessed;
         dst.peakChunkBytes = std::max(dst.peakChunkBytes,
                                       src.peakChunkBytes);
+        for (std::size_t k = 0; k < dst.kernelCalls.size(); ++k)
+            dst.kernelCalls[k] += src.kernelCalls[k];
     }
     startupNs += other.startupNs;
 }
@@ -159,6 +161,14 @@ RunStats::accumulate(const RunStats &other)
 std::string
 RunStats::toJson() const
 {
+    // Index order follows core::KernelKind.
+    static const char *const kKernelNames[] = {"merge", "blocked",
+                                               "gallop", "bitmap"};
+    std::array<std::uint64_t, 4> kernel_totals{};
+    for (const NodeStats &node : nodes)
+        for (std::size_t k = 0; k < kernel_totals.size(); ++k)
+            kernel_totals[k] += node.kernelCalls[k];
+
     std::ostringstream os;
     os.precision(15);
     os << "{\n"
@@ -174,6 +184,11 @@ RunStats::toJson() const
        << "  \"embeddings\": " << totalEmbeddings() << ",\n"
        << "  \"static_cache_hit_rate\": " << staticCacheHitRate()
        << ",\n"
+       << "  \"kernel_calls\": {";
+    for (std::size_t k = 0; k < kernel_totals.size(); ++k)
+        os << (k == 0 ? "" : ", ") << "\"" << kKernelNames[k]
+           << "\": " << kernel_totals[k];
+    os << "},\n"
        << "  \"nodes\": [";
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         const NodeStats &n = nodes[i];
@@ -198,7 +213,11 @@ RunStats::toJson() const
            << ", \"embeddings_created\": " << n.embeddingsCreated
            << ", \"intersection_items\": " << n.intersectionItems
            << ", \"chunks_processed\": " << n.chunksProcessed
-           << ", \"peak_chunk_bytes\": " << n.peakChunkBytes << "}";
+           << ", \"peak_chunk_bytes\": " << n.peakChunkBytes
+           << ", \"kernel_calls\": [";
+        for (std::size_t k = 0; k < n.kernelCalls.size(); ++k)
+            os << (k == 0 ? "" : ", ") << n.kernelCalls[k];
+        os << "]}";
     }
     os << "\n  ]\n}\n";
     return os.str();

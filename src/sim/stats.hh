@@ -9,6 +9,7 @@
 #ifndef KHUZDUL_SIM_STATS_HH
 #define KHUZDUL_SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -57,6 +58,14 @@ struct NodeStats
     std::uint64_t intersectionItems = 0;
     std::uint64_t chunksProcessed = 0;
     std::uint64_t peakChunkBytes = 0;
+
+    /**
+     * Set-operation executions per kernel, indexed by
+     * core::KernelKind (merge, blocked, gallop, bitmap).  A plain
+     * array keeps sim/ below core/ in the layering; charges are
+     * canonical, so these tallies never affect modeled time.
+     */
+    std::array<std::uint64_t, 4> kernelCalls{};
     /// @}
 
     /** Total modeled wall time of this node. */

@@ -29,6 +29,8 @@ phaseEventName(PhaseEvent event)
         return "cache_hit";
       case PhaseEvent::CacheMiss:
         return "cache_miss";
+      case PhaseEvent::KernelDispatch:
+        return "kernel_dispatch";
     }
     KHUZDUL_PANIC("unreachable phase event");
 }

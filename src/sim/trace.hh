@@ -36,16 +36,19 @@ enum class PhaseEvent : std::uint8_t
     ExtendEnd,           ///< extension sweep over a chunk ends
     CacheHit,            ///< edge list served by the data cache
     CacheMiss,           ///< cache probe missed; resolution continues
+    KernelDispatch,      ///< set-kernel executions (per-chunk delta)
 };
 
-inline constexpr std::size_t kNumPhaseEvents = 8;
+inline constexpr std::size_t kNumPhaseEvents = 9;
 
 /** Stable lowercase name (used by the JSON sink and tests). */
 const char *phaseEventName(PhaseEvent event);
 
 /** One phase transition.  The payload fields are event-specific:
  *  bytes/lists for fetch batches, embedding counts for chunk and
- *  extend events, the vertex id for cache probes. */
+ *  extend events, the vertex id for cache probes, and for
+ *  KernelDispatch the call-count delta (value) of one kernel kind
+ *  (aux = core::KernelKind index) over the chunk just closed. */
 struct TraceRecord
 {
     PhaseEvent event;

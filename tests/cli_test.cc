@@ -83,6 +83,33 @@ TEST(Cli, CountMatchesAcrossSystems)
               b.second.substr(0, b.second.find('\n')));
 }
 
+TEST(Cli, KernelModesAreObservationallyEquivalent)
+{
+    // Every --kernel mode must report the same count AND the same
+    // modeled cluster time: kernels change wall-clock only, never
+    // the simulated machine.  Also exercises the --key=value form.
+    const auto modeled = [](const std::string &out) {
+        // Everything up to (but excluding) the host wall-time line,
+        // the only nondeterministic part of the report.
+        const auto pos = out.find("host wall time");
+        EXPECT_NE(pos, std::string::npos);
+        return out.substr(0, pos);
+    };
+    const std::string base = "count --graph rmat:800:4000:0.5:9 "
+                             "--pattern clique4 --nodes 2 ";
+    const auto reference = runCli(base + "--kernel merge");
+    ASSERT_EQ(reference.first, 0);
+    EXPECT_NE(reference.second.find("modeled cluster time"),
+              std::string::npos);
+    for (const std::string flag :
+         {"--kernel auto", "--kernel=gallop", "--kernel=bitmap"}) {
+        const auto [code, out] = runCli(base + flag);
+        EXPECT_EQ(code, 0) << flag;
+        EXPECT_EQ(modeled(out), modeled(reference.second)) << flag;
+    }
+    EXPECT_EQ(runCli(base + "--kernel simd").first, 1);
+}
+
 TEST(Cli, PlanPrintsLevels)
 {
     const auto [code, out] =

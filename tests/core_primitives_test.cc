@@ -12,7 +12,7 @@
 #include "core/cache.hh"
 #include "core/chunk.hh"
 #include "core/horizontal.hh"
-#include "core/intersect.hh"
+#include "core/kernels/kernels.hh"
 #include "graph/generators.hh"
 #include "support/rng.hh"
 

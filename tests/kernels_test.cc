@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Differential and property tests for the set-kernel suite
+ * (core/kernels): every kernel must agree element-for-element with
+ * the reference two-pointer merge and charge the identical canonical
+ * WorkItems on randomized and adversarial inputs; the dispatcher
+ * must be mode-invariant in outputs and charges; the hub-bitmap
+ * index must be correct, capped and deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/kernels/kernels.hh"
+#include "graph/generators.hh"
+#include "support/rng.hh"
+
+namespace khuzdul
+{
+namespace
+{
+
+std::vector<VertexId>
+sortedUnique(std::vector<VertexId> values)
+{
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()),
+                 values.end());
+    return values;
+}
+
+std::vector<VertexId>
+randomList(std::size_t size, VertexId universe, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<VertexId> list(size);
+    for (auto &v : list)
+        v = static_cast<VertexId>(rng.nextBounded(universe));
+    return sortedUnique(std::move(list));
+}
+
+/** Adversarial (a, b) pairs: empties, extreme skew, overlap at span
+ *  boundaries (equal first/last elements), disjoint ranges, dense
+ *  all-common lists. */
+std::vector<std::pair<std::vector<VertexId>, std::vector<VertexId>>>
+adversarialPairs()
+{
+    std::vector<std::pair<std::vector<VertexId>, std::vector<VertexId>>>
+        pairs;
+    pairs.push_back({{}, {}});
+    pairs.push_back({{}, {1, 2, 3}});
+    pairs.push_back({{5}, {1, 2, 3, 4, 5, 6, 7, 8, 9}});
+    pairs.push_back({{9}, {1, 2, 3}});           // a past b's end
+    pairs.push_back({{1, 2, 3}, {4, 5, 6}});     // disjoint, adjacent
+    pairs.push_back({{4, 5, 6}, {1, 2, 3}});     // disjoint, reversed
+    pairs.push_back({{1, 100}, randomList(5000, 1 << 16, 3)});
+    // Boundary-equal elements: spans meeting exactly at their ends.
+    pairs.push_back({{1, 2, 3, 10}, {10, 11, 12}});
+    pairs.push_back({{10, 11, 12}, {1, 2, 3, 10}});
+    pairs.push_back({{1, 5, 9}, {1, 5, 9}});     // identical lists
+    // Dense common prefix, then divergence.
+    std::vector<VertexId> dense_a;
+    std::vector<VertexId> dense_b;
+    for (VertexId v = 0; v < 600; ++v) {
+        dense_a.push_back(v);
+        dense_b.push_back(v < 300 ? v : v + 1000);
+    }
+    pairs.push_back({dense_a, dense_b});
+    // Extreme skew: 3 elements vs 100k.
+    pairs.push_back({{7, 70'000, 99'999},
+                     randomList(100'000, 1 << 20, 17)});
+    return pairs;
+}
+
+void
+expectKernelAgreement(std::span<const VertexId> a,
+                      std::span<const VertexId> b)
+{
+    std::vector<VertexId> ref;
+    std::vector<VertexId> out;
+    Count count = 0;
+    const core::WorkItems work = core::intersectInto(a, b, ref);
+
+    EXPECT_EQ(core::canonicalIntersectWork(a, b), work);
+    EXPECT_EQ(core::intersectCount(a, b, count), work);
+    EXPECT_EQ(count, ref.size());
+
+    EXPECT_EQ(core::blockedIntersectInto(a, b, out), work);
+    EXPECT_EQ(out, ref);
+    EXPECT_EQ(core::blockedIntersectCount(a, b, count), work);
+    EXPECT_EQ(count, ref.size());
+
+    EXPECT_EQ(core::gallopIntersectInto(a, b, out), work);
+    EXPECT_EQ(out, ref);
+    EXPECT_EQ(core::gallopIntersectCount(a, b, count), work);
+    EXPECT_EQ(count, ref.size());
+
+    // Subtraction: gallop against the reference.
+    std::vector<VertexId> sub_ref;
+    const core::WorkItems sub_work = core::subtractInto(a, b, sub_ref);
+    EXPECT_EQ(core::canonicalSubtractWork(a, b), sub_work);
+    EXPECT_EQ(core::gallopSubtractInto(a, b, out), sub_work);
+    EXPECT_EQ(out, sub_ref);
+}
+
+TEST(Kernels, AdversarialPairsAgree)
+{
+    for (const auto &[a, b] : adversarialPairs()) {
+        SCOPED_TRACE("sizes " + std::to_string(a.size()) + " x "
+                     + std::to_string(b.size()));
+        expectKernelAgreement(a, b);
+        expectKernelAgreement(b, a);
+    }
+}
+
+TEST(Kernels, RandomizedPairsAgree)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t size_a = rng.nextBounded(400);
+        const std::size_t size_b = 1 + rng.nextBounded(4000);
+        const VertexId universe =
+            1 + static_cast<VertexId>(rng.nextBounded(8000));
+        const auto a = randomList(size_a, universe, 1000 + trial);
+        const auto b = randomList(size_b, universe, 2000 + trial);
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        expectKernelAgreement(a, b);
+    }
+}
+
+TEST(Kernels, BitmapKernelsMatchReferenceOnHubLists)
+{
+    const Graph g = gen::rmat(2048, 20000, 0.57, 0.19, 0.19, 5);
+    g.buildHubBitmaps(8, 32ull << 20);
+    ASSERT_GT(g.hubBitmapCount(), 0u);
+    Rng rng(7);
+    int tested = 0;
+    for (VertexId v = 0; v < g.numVertices() && tested < 50; ++v) {
+        const std::uint64_t *row = g.hubBitmapRow(v);
+        if (!row)
+            continue;
+        ++tested;
+        const auto hub_list = g.neighbors(v);
+        const auto a = randomList(1 + rng.nextBounded(64),
+                                  g.numVertices(), 300 + v);
+        std::vector<VertexId> ref;
+        std::vector<VertexId> out;
+        Count count = 0;
+        const core::WorkItems work =
+            core::intersectInto(a, hub_list, ref);
+        EXPECT_EQ(core::bitmapIntersectInto(a, hub_list, row, out),
+                  work);
+        EXPECT_EQ(out, ref);
+        EXPECT_EQ(core::bitmapIntersectCount(a, hub_list, row, count),
+                  work);
+        EXPECT_EQ(count, ref.size());
+
+        std::vector<VertexId> sub_ref;
+        const core::WorkItems sub_work =
+            core::subtractInto(a, hub_list, sub_ref);
+        EXPECT_EQ(core::bitmapSubtractInto(a, hub_list, row, out),
+                  sub_work);
+        EXPECT_EQ(out, sub_ref);
+    }
+    EXPECT_EQ(tested, 50);
+}
+
+TEST(Kernels, DispatcherIsModeInvariant)
+{
+    const Graph g = gen::rmat(2048, 20000, 0.57, 0.19, 0.19, 5);
+    g.buildHubBitmaps(8, 32ull << 20);
+    VertexId hub = 0;
+    for (VertexId v = 1; v < g.numVertices(); ++v)
+        if (g.degree(v) > g.degree(hub))
+            hub = v;
+    ASSERT_NE(g.hubBitmapRow(hub), nullptr);
+
+    const core::ListRef hub_ref(g.neighbors(hub), hub);
+    const auto small = randomList(24, g.numVertices(), 42);
+    std::vector<VertexId> ref;
+    std::vector<VertexId> out;
+    const core::WorkItems work =
+        core::intersectInto(small, hub_ref.list, ref);
+
+    for (const core::KernelMode mode :
+         {core::KernelMode::Auto, core::KernelMode::Merge,
+          core::KernelMode::Gallop, core::KernelMode::Bitmap}) {
+        core::KernelDispatcher dispatcher(mode, &g);
+        EXPECT_EQ(dispatcher.intersectInto(core::ListRef(small),
+                                           hub_ref, out),
+                  work)
+            << core::kernelModeName(mode);
+        EXPECT_EQ(out, ref) << core::kernelModeName(mode);
+        EXPECT_EQ(dispatcher.counters().total(), 1u);
+    }
+}
+
+TEST(Kernels, DispatcherCountersAttributeKernels)
+{
+    const Graph g = gen::rmat(2048, 20000, 0.57, 0.19, 0.19, 5);
+    g.buildHubBitmaps(8, 32ull << 20);
+    VertexId hub = 0;
+    for (VertexId v = 1; v < g.numVertices(); ++v)
+        if (g.degree(v) > g.degree(hub))
+            hub = v;
+    const EdgeId hub_degree = g.degree(hub);
+    ASSERT_GE(hub_degree, core::kBitmapRatio * 4);
+
+    core::KernelDispatcher dispatcher(core::KernelMode::Auto, &g);
+    std::vector<VertexId> out;
+
+    // Tiny vs hub with a row: bitmap.
+    const auto tiny = randomList(4, g.numVertices(), 1);
+    dispatcher.intersectInto(core::ListRef(tiny),
+                             {g.neighbors(hub), hub}, out);
+    EXPECT_EQ(dispatcher.counters()[core::KernelKind::Bitmap], 1u);
+
+    // Same skew but no source vertex: gallop (if ratio suffices).
+    if (g.neighbors(hub).size() >= core::kGallopRatio * tiny.size()) {
+        dispatcher.intersectInto(core::ListRef(tiny),
+                                 core::ListRef(g.neighbors(hub)), out);
+        EXPECT_EQ(dispatcher.counters()[core::KernelKind::Gallop], 1u);
+    }
+
+    // Near-equal large lists: blocked merge.
+    const auto a = randomList(500, 4096, 2);
+    const auto b = randomList(500, 4096, 3);
+    dispatcher.intersectInto(core::ListRef(a), core::ListRef(b), out);
+    EXPECT_EQ(dispatcher.counters()[core::KernelKind::Blocked], 1u);
+
+    // Small near-equal lists: reference merge.
+    const auto sa = randomList(8, 64, 4);
+    const auto sb = randomList(8, 64, 5);
+    dispatcher.intersectInto(core::ListRef(sa), core::ListRef(sb), out);
+    EXPECT_EQ(dispatcher.counters()[core::KernelKind::Merge], 1u);
+}
+
+TEST(Kernels, ManyListFoldsMatchAcrossDispatchAndReference)
+{
+    Rng rng(55);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t n = 1 + rng.nextBounded(5);
+        std::vector<std::vector<VertexId>> storage;
+        for (std::size_t i = 0; i < n; ++i)
+            storage.push_back(randomList(1 + rng.nextBounded(800),
+                                         2000, 70 * trial + i));
+        std::vector<std::span<const VertexId>> spans(storage.begin(),
+                                                     storage.end());
+        std::vector<core::ListRef> refs(storage.begin(), storage.end());
+
+        std::vector<VertexId> ref_out, out, scratch;
+        const core::WorkItems ref_work = core::intersectMany(
+            {spans.data(), spans.size()}, ref_out, scratch);
+
+        core::KernelDispatcher dispatcher;
+        EXPECT_EQ(dispatcher.intersectMany({refs.data(), refs.size()},
+                                           out, scratch),
+                  ref_work)
+            << "trial " << trial;
+        EXPECT_EQ(out, ref_out) << "trial " << trial;
+
+        Count ref_count = 0, count = 0;
+        std::vector<VertexId> sa, sb;
+        const core::WorkItems ref_count_work = core::intersectManyCount(
+            {spans.data(), spans.size()}, ref_count, sa, sb);
+        EXPECT_EQ(dispatcher.intersectManyCount(
+                      {refs.data(), refs.size()}, count, sa, sb),
+                  ref_count_work)
+            << "trial " << trial;
+        EXPECT_EQ(count, ref_count) << "trial " << trial;
+    }
+}
+
+TEST(Kernels, SingleListConventionsCopyChargesAndProbeIsFree)
+{
+    const auto list = randomList(100, 1000, 8);
+    std::vector<std::span<const VertexId>> spans = {list};
+    std::vector<VertexId> out, scratch;
+    // The materialized pass-through copy charges 1 WorkItem/element.
+    EXPECT_EQ(core::intersectMany({spans.data(), 1}, out, scratch),
+              list.size());
+    EXPECT_EQ(out, list);
+    // The count-only size probe is O(1) and charges nothing.
+    Count count = 0;
+    std::vector<VertexId> sa, sb;
+    EXPECT_EQ(core::intersectManyCount({spans.data(), 1}, count, sa,
+                                       sb),
+              0u);
+    EXPECT_EQ(count, list.size());
+}
+
+TEST(Kernels, ContainsAgreesAcrossCutoff)
+{
+    for (const std::size_t size :
+         {0ul, 1ul, 31ul, 32ul, 33ul, 500ul}) {
+        const auto list = randomList(size, 700, 60 + size);
+        for (VertexId v = 0; v < 700; v += 7) {
+            const bool expected = std::binary_search(list.begin(),
+                                                     list.end(), v);
+            EXPECT_EQ(core::containsLinear(list, v), expected);
+            EXPECT_EQ(core::containsBinary(list, v), expected);
+            EXPECT_EQ(core::contains(list, v), expected);
+        }
+    }
+}
+
+TEST(Kernels, HubBitmapAdmissionIsCappedAndHottestFirst)
+{
+    const Graph g = gen::rmat(4096, 60000, 0.6, 0.15, 0.15, 21);
+    const std::size_t row_bytes = ((g.numVertices() + 63) / 64) * 8;
+
+    // Uncapped: every vertex at/above threshold has a row.
+    g.buildHubBitmaps(16, 1ull << 30);
+    std::size_t eligible = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const bool has_row = g.hubBitmapRow(v) != nullptr;
+        EXPECT_EQ(has_row, g.degree(v) >= 16) << "vertex " << v;
+        eligible += g.degree(v) >= 16;
+    }
+    EXPECT_EQ(g.hubBitmapCount(), eligible);
+    EXPECT_EQ(g.hubBitmapBytes(), eligible * row_bytes);
+    ASSERT_GT(eligible, 8u);
+
+    // Capped to 8 rows: only the 8 hottest keep rows, and no vertex
+    // with a row is colder than any vertex without one.
+    g.buildHubBitmaps(16, 8 * row_bytes);
+    EXPECT_EQ(g.hubBitmapCount(), 8u);
+    EXPECT_LE(g.hubBitmapBytes(), 8 * row_bytes);
+    EdgeId coldest_admitted = ~EdgeId{0};
+    EdgeId hottest_rejected = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (g.hubBitmapRow(v))
+            coldest_admitted = std::min(coldest_admitted, g.degree(v));
+        else if (g.degree(v) >= 16)
+            hottest_rejected = std::max(hottest_rejected, g.degree(v));
+    }
+    EXPECT_GE(coldest_admitted, hottest_rejected);
+
+    // Zero cap disables the index entirely.
+    g.buildHubBitmaps(16, 0);
+    EXPECT_EQ(g.hubBitmapCount(), 0u);
+    EXPECT_EQ(g.hubBitmapBytes(), 0u);
+    EXPECT_EQ(g.hubBitmapRow(0), nullptr);
+}
+
+TEST(Kernels, ModeNamesRoundTrip)
+{
+    for (const core::KernelMode mode :
+         {core::KernelMode::Auto, core::KernelMode::Merge,
+          core::KernelMode::Gallop, core::KernelMode::Bitmap})
+        EXPECT_EQ(core::parseKernelMode(core::kernelModeName(mode)),
+                  mode);
+    EXPECT_THROW(core::parseKernelMode("simd"), FatalError);
+}
+
+} // namespace
+} // namespace khuzdul

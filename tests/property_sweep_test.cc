@@ -225,5 +225,54 @@ TEST_P(RandomPatternPlans, RestrictionCountTimesAutEqualsOrdered)
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPatternPlans,
                          testing::Range(0, 12));
 
+/**
+ * Kernel-choice invariance: under every --kernel mode the engine's
+ * counts match the brute-force oracle, and modeled makespan and
+ * intersection work are bit-identical — kernels only change host
+ * wall-clock, never the simulated machine.
+ */
+class KernelModeSweep : public testing::TestWithParam<core::KernelMode>
+{
+};
+
+TEST_P(KernelModeSweep, CountsAndModeledTimeAreModeInvariant)
+{
+    const Graph &g = sweepGraph();
+    core::EngineConfig config;
+    config.cluster = sim::ClusterConfig::paperDefault(4);
+    config.chunkBytes = 16 << 10;
+    config.hubBitmapDegreeThreshold = 8;
+
+    core::EngineConfig reference_config = config;
+    reference_config.kernelMode = core::KernelMode::Merge;
+    config.kernelMode = GetParam();
+
+    for (const Pattern &p :
+         {Pattern::triangle(), Pattern::clique(4), Pattern::cycleOf(4),
+          Pattern::diamond()}) {
+        const auto plan = compileAutomine(p, {});
+        core::Engine reference(g, reference_config);
+        core::Engine engine(g, config);
+        EXPECT_EQ(engine.run(plan), oracle(p)) << p.toString();
+        ASSERT_EQ(reference.run(plan), oracle(p)) << p.toString();
+        EXPECT_EQ(engine.stats().makespanNs(),
+                  reference.stats().makespanNs())
+            << p.toString();
+        std::uint64_t items = 0;
+        std::uint64_t ref_items = 0;
+        for (std::size_t u = 0; u < engine.stats().nodes.size(); ++u) {
+            items += engine.stats().nodes[u].intersectionItems;
+            ref_items += reference.stats().nodes[u].intersectionItems;
+        }
+        EXPECT_EQ(items, ref_items) << p.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, KernelModeSweep,
+                         testing::Values(core::KernelMode::Auto,
+                                         core::KernelMode::Merge,
+                                         core::KernelMode::Gallop,
+                                         core::KernelMode::Bitmap));
+
 } // namespace
 } // namespace khuzdul

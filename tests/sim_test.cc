@@ -217,16 +217,22 @@ TEST(RunStats, ToJsonCarriesTotalsAndNodes)
     stats.nodes[0].messagesSent = 3;
     stats.nodes[1].staticCacheHits = 3;
     stats.nodes[1].staticCacheMisses = 1;
+    stats.nodes[0].kernelCalls = {7, 0, 2, 1};
+    stats.nodes[1].kernelCalls = {1, 0, 0, 0};
     const std::string json = stats.toJson();
     EXPECT_NE(json.find("\"makespan_ns\": 105"), std::string::npos);
     EXPECT_NE(json.find("\"bytes_sent\": 1234"), std::string::npos);
     EXPECT_NE(json.find("\"messages\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"static_cache_hit_rate\": 0.75"),
               std::string::npos);
+    EXPECT_NE(json.find("\"kernel_calls\": {\"merge\": 8, "
+                        "\"blocked\": 0, \"gallop\": 2, "
+                        "\"bitmap\": 1}"),
+              std::string::npos);
     EXPECT_NE(json.find("\"nodes\": ["), std::string::npos);
-    // One object per node.
-    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 3);
-    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 3);
+    // One object per node, plus the root and kernel_calls objects.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 4);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 4);
 }
 
 TEST(RunStats, EmptyStatsAreSafe)

@@ -39,6 +39,8 @@ TEST(Trace, PhaseEventNamesAreStable)
                  "fetch_batch_issued");
     EXPECT_STREQ(phaseEventName(sim::PhaseEvent::CacheMiss),
                  "cache_miss");
+    EXPECT_STREQ(phaseEventName(sim::PhaseEvent::KernelDispatch),
+                 "kernel_dispatch");
 }
 
 TEST(Trace, CountingSinkTalliesPerEvent)
@@ -111,6 +113,15 @@ TEST(Trace, EngineEventsCrossCheckRunStats)
               t.count(sim::PhaseEvent::FetchBatchIssued));
     EXPECT_EQ(t.valueSum(sim::PhaseEvent::FetchBatchIssued),
               engine.stats().totalBytesSent());
+    // Kernel-dispatch events carry per-chunk call deltas whose sum
+    // must equal the kernel-call totals accumulated in RunStats.
+    std::uint64_t kernel_calls = 0;
+    for (const auto &node : engine.stats().nodes)
+        for (const std::uint64_t calls : node.kernelCalls)
+            kernel_calls += calls;
+    EXPECT_GT(kernel_calls, 0u);
+    EXPECT_EQ(t.valueSum(sim::PhaseEvent::KernelDispatch),
+              kernel_calls);
 }
 
 TEST(Trace, TracingIsObservationOnly)

@@ -27,6 +27,7 @@
 
 #include "apps/fsm.hh"
 #include "apps/gpm_apps.hh"
+#include "core/kernels/kernels.hh"
 #include "engines/khuzdul_system.hh"
 #include "graph/datasets.hh"
 #include "graph/generators.hh"
@@ -55,8 +56,13 @@ class Args
                 KHUZDUL_FATAL("unexpected argument '" << key
                               << "' (options start with --)");
             key = key.substr(2);
-            if (i + 1 < argc
-                && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            // Both --key value and --key=value are accepted.
+            if (const std::size_t eq = key.find('=');
+                eq != std::string::npos) {
+                values_[key.substr(0, eq)] = key.substr(eq + 1);
+            } else if (i + 1 < argc
+                       && std::string(argv[i + 1]).rfind("--", 0)
+                           != 0) {
                 values_[key] = argv[++i];
             } else {
                 values_[key] = "";
@@ -226,6 +232,8 @@ engineConfigFromArgs(const Args &args)
         config.horizontalSharing = false;
     if (args.has("no-numa"))
         config.numaAware = false;
+    config.kernelMode = core::parseKernelMode(
+        args.get("kernel", "auto"));
     return config;
 }
 
@@ -453,6 +461,7 @@ cmdHelp(const std::string &topic)
                   "  [--nodes N] [--sockets S] [--chunk-bytes B]\n"
                   "  [--cache-fraction F] [--no-cache] [--no-hds] "
                   "[--no-numa]\n"
+                  "  [--kernel auto|merge|gallop|bitmap]\n"
                   "  [--stats-json FILE] [--trace FILE]");
     } else {
         std::puts(
