@@ -68,6 +68,19 @@ class Chunk
     std::uint32_t
     add(VertexId vertex, std::uint32_t parent, bool needs_fetch)
     {
+        if (vertices_.empty()) {
+            // The byte budget bounds the embedding count, so size
+            // the per-embedding arrays for it up front: one
+            // allocation per column per chunk lifetime instead of a
+            // doubling cascade on every refill.
+            const std::size_t entries = static_cast<std::size_t>(
+                capacityBytes_ / kEntryBytes + 1);
+            vertices_.reserve(entries);
+            parents_.reserve(entries);
+            needsFetch_.reserve(entries);
+            resultOffsets_.reserve(entries);
+            resultLengths_.reserve(entries);
+        }
         vertices_.push_back(vertex);
         parents_.push_back(parent);
         needsFetch_.push_back(needs_fetch ? 1 : 0);
@@ -91,6 +104,11 @@ class Chunk
     std::uint32_t
     appendResult(std::span<const VertexId> result)
     {
+        if (resultArena_.empty())
+            // Stored results are budget-charged like embeddings, so
+            // the budget also caps the arena's worst case.
+            resultArena_.reserve(static_cast<std::size_t>(
+                capacityBytes_ / sizeof(VertexId) + result.size()));
         const auto offset =
             static_cast<std::uint32_t>(resultArena_.size());
         resultArena_.insert(resultArena_.end(), result.begin(),

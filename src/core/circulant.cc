@@ -32,10 +32,11 @@ CirculantScheduler::noteRemote(std::uint32_t idx, unsigned owner,
 }
 
 void
-CirculantScheduler::issue(sim::Fabric &fabric, sim::RunStats &run,
+CirculantScheduler::issue(sim::TransferRecorder &recorder,
+                          sim::NodeStats &stats,
+                          std::span<std::uint64_t> sent_bytes,
                           sim::TraceSink &trace, int level)
 {
-    sim::NodeStats &stats = run.nodes[unit_];
     for (unsigned slot = 1; slot < numUnits_; ++slot) {
         Batch &batch = batches_[slot];
         if (batch.lists == 0)
@@ -44,8 +45,8 @@ CirculantScheduler::issue(sim::Fabric &fabric, sim::RunStats &run,
         const NodeId dst = owner / unitsPerNode_;
         trace.emit({sim::PhaseEvent::FetchBatchIssued, unit_, level,
                     batch.bytes, batch.lists});
-        batch.commNs = fabric.recordTransfer(node_, dst, batch.bytes,
-                                             batch.lists);
+        batch.commNs = recorder.recordTransfer(node_, dst, batch.bytes,
+                                               batch.lists);
         trace.emit({sim::PhaseEvent::FetchBatchCompleted, unit_, level,
                     batch.bytes, batch.lists});
         if (dst != node_) {
@@ -53,9 +54,20 @@ CirculantScheduler::issue(sim::Fabric &fabric, sim::RunStats &run,
             ++stats.messagesSent;
             stats.listsFetchedRemote += batch.lists;
             // Attribute send-side bytes to the owner unit.
-            run.nodes[owner].bytesSent += batch.bytes;
+            sent_bytes[owner] += batch.bytes;
         }
     }
+}
+
+void
+CirculantScheduler::issue(sim::Fabric &fabric, sim::RunStats &run,
+                          sim::TraceSink &trace, int level)
+{
+    std::vector<std::uint64_t> sent(numUnits_, 0);
+    issue(static_cast<sim::TransferRecorder &>(fabric),
+          run.nodes[unit_], sent, trace, level);
+    for (unsigned owner = 0; owner < numUnits_; ++owner)
+        run.nodes[owner].bytesSent += sent[owner];
 }
 
 CirculantScheduler::Timeline

@@ -18,6 +18,7 @@
 #define KHUZDUL_CORE_CIRCULANT_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/fabric.hh"
@@ -88,11 +89,21 @@ class CirculantScheduler
                     std::uint64_t bytes);
 
     /**
-     * Hand every non-empty batch to the fabric in circulant order,
+     * Hand every non-empty batch to @p recorder in circulant order,
      * recording modeled transfer times, traffic attribution (the
-     * receiving unit's NodeStats plus send-side bytes on the
-     * owner's entry in @p run), and fetch-batch trace events.
+     * receiving unit's @p stats plus send-side bytes on the owner's
+     * slot of @p sent_bytes), and fetch-batch trace events.  Taking
+     * a TransferRecorder and a sent-bytes ledger instead of the
+     * fabric and whole-run stats keeps issue() writable from one
+     * execution unit without touching another unit's state — the
+     * contract the host-parallel runtime (§6) relies on.
      */
+    void issue(sim::TransferRecorder &recorder, sim::NodeStats &stats,
+               std::span<std::uint64_t> sent_bytes,
+               sim::TraceSink &trace, int level);
+
+    /** Convenience overload writing straight into the fabric and
+     *  @p run (requester stats + owners' bytesSent). */
     void issue(sim::Fabric &fabric, sim::RunStats &run,
                sim::TraceSink &trace, int level);
 

@@ -1,11 +1,14 @@
 #include "core/engine.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <span>
 
 #include "core/chunk.hh"
 #include "core/circulant.hh"
 #include "core/extender.hh"
 #include "core/horizontal.hh"
+#include "core/parallel/thread_pool.hh"
 #include "support/check.hh"
 
 namespace khuzdul
@@ -19,15 +22,24 @@ namespace core
  * chunk.  Edge-list resolution is delegated to the unit's
  * EdgeListProvider, batching/timing to the per-level
  * CirculantScheduler, extension math to the PlanExtender.
+ *
+ * One explorer is one host-parallel task (§6): it only ever writes
+ * its unit's NodeStats slot, its fabric delta journal, its slice of
+ * the sent-bytes ledger and its buffering trace sink — never shared
+ * engine state — so any number of explorers may run concurrently.
  */
 class HybridExplorer
 {
   public:
     HybridExplorer(Engine &engine, unsigned unit,
                    const ExtendPlan &plan, MatchVisitor *visitor,
-                   sim::NodeStats &stats)
+                   sim::NodeStats &stats,
+                   sim::TransferRecorder &recorder,
+                   std::span<std::uint64_t> sent_bytes,
+                   sim::TraceSink &sink)
         : engine_(engine), graph_(*engine.graph_), plan_(plan),
           visitor_(visitor), unit_(unit), stats_(stats),
+          recorder_(recorder), sentBytes_(sent_bytes), sink_(sink),
           provider_(*engine.providers_[unit]),
           extender_(*engine.graph_, plan, engine.config_.cost,
                     engine.config_.kernelMode),
@@ -83,7 +95,7 @@ class HybridExplorer
     }
 
   private:
-    sim::TraceSink &trace() { return engine_.tracer_; }
+    sim::TraceSink &trace() { return sink_; }
 
     /** Communication phase of one chunk: resolve every embedding's
      *  new edge list through the provider chain; Remote outcomes
@@ -107,7 +119,7 @@ class HybridExplorer
                 chunk.addFetchedBytes(r.bytes);
             }
         }
-        sched.issue(engine_.fabric_, engine_.stats_, trace(), level);
+        sched.issue(recorder_, stats_, sentBytes_, trace(), level);
     }
 
     /** Process a filled chunk: fetch, then extend level by level
@@ -193,6 +205,9 @@ class HybridExplorer
     MatchVisitor *visitor_;
     unsigned unit_;
     sim::NodeStats &stats_;
+    sim::TransferRecorder &recorder_;
+    std::span<std::uint64_t> sentBytes_;
+    sim::TraceSink &sink_;
     EdgeListProvider &provider_;
     PlanExtender extender_;
     unsigned cores_;
@@ -226,6 +241,8 @@ Engine::Engine(const Graph &g, const EngineConfig &config)
     const std::uint64_t per_unit = static_cast<std::uint64_t>(
         per_node / partition_.socketsPerNode());
     for (unsigned u = 0; u < partition_.numUnits(); ++u) {
+        unitSinks_.push_back(
+            std::make_unique<sim::BufferingTraceSink>());
         caches_.push_back(std::make_unique<DataCache>(
             g, config_.cachePolicy, per_unit,
             config_.cacheDegreeThreshold));
@@ -234,7 +251,7 @@ Engine::Engine(const Graph &g, const EngineConfig &config)
             config_.horizontalSharing,
             EdgeListProvider::engineCosts(config_.cost,
                                           *caches_.back()),
-            tracer_));
+            *unitSinks_.back()));
     }
 }
 
@@ -265,12 +282,65 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
                         "visitors need complete symmetry breaking");
     }
     stats_.startupNs += config_.cost.engineStartupNs;
-    std::int64_t raw = 0;
-    for (unsigned u = 0; u < partition_.numUnits(); ++u) {
-        HybridExplorer explorer(*this, u, plan, visitor,
-                                stats_.nodes[u]);
-        raw += explorer.run();
+
+    const unsigned units = partition_.numUnits();
+    // Visitors are client UDFs of unknown thread-safety; their runs
+    // stay sequential.  Counting runs use the configured cap.
+    const unsigned threads = visitor
+        ? 1u
+        : std::min(ThreadPool::resolveThreadCount(config_.hostThreads),
+                   units);
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    // Per-unit isolation (§6): each unit journals fabric transfers
+    // in a delta, attributes send-side bytes to a private ledger,
+    // traces into its own buffering sink and writes doubles only
+    // into its own NodeStats slot.  The same journals are used at
+    // every thread count — including 1 — and merged in unit order
+    // below, so modeled results are a pure function of the config,
+    // never of the thread count or the interleaving.
+    std::vector<sim::FabricDelta> deltas;
+    deltas.reserve(units);
+    for (unsigned u = 0; u < units; ++u)
+        deltas.emplace_back(fabric_);
+    std::vector<std::vector<std::uint64_t>> sent(
+        units, std::vector<std::uint64_t>(units, 0));
+    std::vector<std::int64_t> raws(units, 0);
+
+    const auto run_unit = [&](std::size_t u) {
+        unitSinks_[u]->clear(); // drop leftovers of a failed run
+        HybridExplorer explorer(
+            *this, static_cast<unsigned>(u), plan, visitor,
+            stats_.nodes[u], deltas[u], sent[u], *unitSinks_[u]);
+        raws[u] = explorer.run();
+    };
+
+    if (threads <= 1) {
+        for (unsigned u = 0; u < units; ++u)
+            run_unit(u);
+    } else {
+        if (!pool_ || pool_->workers() != threads)
+            pool_ = std::make_unique<ThreadPool>(threads);
+        pool_->run(units, run_unit);
     }
+
+    // Ordered merge: replay each unit's trace buffer, fabric delta
+    // (a configured byte cap throws here, in the same unit order it
+    // would have sequentially) and send-side byte attribution.
+    std::int64_t raw = 0;
+    for (unsigned u = 0; u < units; ++u) {
+        unitSinks_[u]->flushTo(tracer_);
+        fabric_.apply(deltas[u]);
+        for (unsigned o = 0; o < units; ++o)
+            stats_.nodes[o].bytesSent += sent[u][o];
+        raw += raws[u];
+    }
+
+    stats_.hostThreads = std::max(stats_.hostThreads, threads);
+    stats_.hostWallNs += std::chrono::duration<double, std::nano>(
+        std::chrono::steady_clock::now() - wall_start)
+                             .count();
+
     KHUZDUL_CHECK(raw >= 0, "negative raw count");
     KHUZDUL_CHECK(raw % plan.countDivisor == 0,
                   "raw count " << raw << " not divisible by "
@@ -285,6 +355,8 @@ Engine::resetStats()
     stats_.nodes.resize(partition_.numUnits());
     fabric_.reset();
     traceCounts_.reset();
+    for (auto &sink : unitSinks_)
+        sink->clear();
     for (auto &cache : caches_)
         cache->resetCounters();
 }

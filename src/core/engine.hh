@@ -52,6 +52,8 @@ namespace khuzdul
 namespace core
 {
 
+class ThreadPool;
+
 /** All engine tunables; defaults mirror the paper's configuration
  *  scaled to the ~1000x smaller stand-in datasets. */
 struct EngineConfig
@@ -108,6 +110,15 @@ struct EngineConfig
     /** Byte cap on hub bitmap rows (hottest-first admission);
      *  0 disables the bitmap kernel entirely. */
     std::uint64_t hubBitmapMaxBytes = 32ull << 20;
+
+    /**
+     * Host worker threads executing simulated units in parallel
+     * (§6).  Purely host-side: 0 means "all hardware threads", 1
+     * forces sequential execution, and every value produces
+     * bit-identical modeled results — counts, RunStats, the fabric
+     * ledger and the trace stream never depend on it.
+     */
+    unsigned hostThreads = 0;
 };
 
 /**
@@ -177,6 +188,14 @@ class Engine
     sim::TeeTraceSink tracer_{traceCounts_};
     std::vector<std::unique_ptr<DataCache>> caches_;
     std::vector<std::unique_ptr<EdgeListProvider>> providers_;
+
+    /** Per-unit event buffers flushed into tracer_ in unit order
+     *  after each run, reproducing the sequential trace stream. */
+    std::vector<std::unique_ptr<sim::BufferingTraceSink>> unitSinks_;
+
+    /** Host worker pool, created lazily on the first parallel run
+     *  and rebuilt when config_.hostThreads resolves differently. */
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace core

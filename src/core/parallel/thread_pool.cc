@@ -1,0 +1,153 @@
+#include "core/parallel/thread_pool.hh"
+
+#include <algorithm>
+
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    KHUZDUL_REQUIRE(workers >= 1, "thread pool needs >= 1 worker");
+    queues_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    threads_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(controlMutex_);
+        stop_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+unsigned
+ThreadPool::resolveThreadCount(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::run(std::size_t num_tasks,
+                const std::function<void(std::size_t)> &body)
+{
+    if (num_tasks == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(controlMutex_);
+        KHUZDUL_CHECK(remaining_ == 0 && body_ == nullptr,
+                      "ThreadPool::run is not reentrant");
+        body_ = &body;
+        errors_.assign(num_tasks, nullptr);
+        remaining_ = num_tasks;
+        // Counted before the deques fill so queued_ can never
+        // underflow: decrements only follow successful pops.
+        queued_ = num_tasks;
+    }
+    // Seed the deques round-robin.  body_ was published under
+    // controlMutex_ first, so workers get a release/acquire path to
+    // it through whichever lock hands them their first task.
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+        WorkerQueue &q = *queues_[t % queues_.size()];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        q.tasks.push_back(t);
+    }
+    workAvailable_.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(controlMutex_);
+        jobDone_.wait(lock, [this] { return remaining_ == 0; });
+        body_ = nullptr;
+    }
+    // Rethrow the lowest-indexed failure so the surfaced error does
+    // not depend on the interleaving.
+    for (std::exception_ptr &error : errors_)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(controlMutex_);
+            workAvailable_.wait(
+                lock, [this] { return stop_ || queued_ > 0; });
+            if (stop_)
+                return;
+        }
+        std::size_t task;
+        while (popOwn(self, task) || stealFrom(self, task))
+            execute(task);
+        // All deques observed empty: tasks never respawn, so the
+        // job has no runnable work left for this worker.
+    }
+}
+
+bool
+ThreadPool::popOwn(unsigned self, std::size_t &task)
+{
+    WorkerQueue &q = *queues_[self];
+    {
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (q.tasks.empty())
+            return false;
+        task = q.tasks.back();
+        q.tasks.pop_back();
+    }
+    std::lock_guard<std::mutex> lock(controlMutex_);
+    --queued_;
+    return true;
+}
+
+bool
+ThreadPool::stealFrom(unsigned thief, std::size_t &task)
+{
+    const unsigned n = workers();
+    for (unsigned i = 1; i < n; ++i) {
+        WorkerQueue &victim = *queues_[(thief + i) % n];
+        {
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (victim.tasks.empty())
+                continue;
+            task = victim.tasks.front();
+            victim.tasks.pop_front();
+        }
+        std::lock_guard<std::mutex> lock(controlMutex_);
+        --queued_;
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::execute(std::size_t task)
+{
+    std::exception_ptr error;
+    try {
+        (*body_)(task);
+    } catch (...) {
+        error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(controlMutex_);
+    if (error)
+        errors_[task] = error;
+    if (--remaining_ == 0)
+        jobDone_.notify_all();
+}
+
+} // namespace core
+} // namespace khuzdul

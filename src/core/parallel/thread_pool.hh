@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Host-parallel execution of simulated units (§5.4, §6).  The paper
+ * saturates 16-32 cores per machine with dynamically dispatched
+ * mini-batches; the reproduction models that machine exactly but —
+ * before this pool existed — executed every simulated unit
+ * back-to-back on one host core.  ThreadPool is the host-side
+ * counterpart: a work-stealing pool that runs independent unit
+ * tasks (one HybridExplorer::run() each) concurrently.
+ *
+ * Scheduling is aDFS-style: every worker owns a deque, seeded
+ * round-robin; owners pop LIFO from the back (cache-warm), thieves
+ * steal FIFO from the front (oldest, largest remaining work).  The
+ * pool only decides *when* a task runs, never what it computes —
+ * determinism of modeled results is the engine's job (per-unit
+ * delta ledgers merged in unit order), so any interleaving the
+ * pool produces yields bit-identical counts, stats and traces.
+ */
+
+#ifndef KHUZDUL_CORE_PARALLEL_THREAD_POOL_HH
+#define KHUZDUL_CORE_PARALLEL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace khuzdul
+{
+namespace core
+{
+
+/** Work-stealing pool of host threads executing indexed tasks. */
+class ThreadPool
+{
+  public:
+    /** Spin up @p workers persistent threads (>= 1). */
+    explicit ThreadPool(unsigned workers);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned
+    workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /**
+     * Resolve a configured thread-count request: 0 means "all
+     * hardware threads" (EngineConfig::hostThreads convention);
+     * anything else passes through.  Never returns 0.
+     */
+    static unsigned resolveThreadCount(unsigned requested);
+
+    /**
+     * Execute @p body(i) for every i in [0, num_tasks) and block
+     * until all complete (the barrier of one run).  Tasks are
+     * seeded round-robin across worker deques and stolen as
+     * workers drain.  If tasks throw, the exception of the
+     * lowest-indexed failing task is rethrown (deterministic
+     * regardless of execution order).  Not reentrant: one run() at
+     * a time per pool.
+     */
+    void run(std::size_t num_tasks,
+             const std::function<void(std::size_t)> &body);
+
+  private:
+    /** One worker's task deque (own end = back, steal end = front). */
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    bool popOwn(unsigned self, std::size_t &task);
+    bool stealFrom(unsigned thief, std::size_t &task);
+    void execute(std::size_t task);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    /** Guards the job state below and the cv predicates. */
+    std::mutex controlMutex_;
+    std::condition_variable workAvailable_; ///< workers wait here
+    std::condition_variable jobDone_;       ///< run() waits here
+
+    const std::function<void(std::size_t)> *body_ = nullptr;
+    std::vector<std::exception_ptr> errors_; ///< per task index
+    std::size_t queued_ = 0;    ///< tasks sitting in deques
+    std::size_t remaining_ = 0; ///< tasks not yet finished
+    bool stop_ = false;
+};
+
+} // namespace core
+} // namespace khuzdul
+
+#endif // KHUZDUL_CORE_PARALLEL_THREAD_POOL_HH

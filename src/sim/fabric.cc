@@ -31,6 +31,24 @@ Fabric::recordTransfer(NodeId src, NodeId dst, std::uint64_t bytes,
     return cost_->transferNs(bytes, lists);
 }
 
+double
+Fabric::modeledTransferNs(NodeId src, NodeId dst, std::uint64_t bytes,
+                          std::uint64_t lists) const
+{
+    return src == dst ? cost_->numaTransferNs(bytes, lists)
+                      : cost_->transferNs(bytes, lists);
+}
+
+void
+Fabric::apply(FabricDelta &delta)
+{
+    KHUZDUL_CHECK(delta.base_ == this,
+                  "delta journalled against a different fabric");
+    for (const FabricDelta::Entry &e : delta.entries_)
+        recordTransfer(e.src, e.dst, e.bytes, e.lists);
+    delta.clear();
+}
+
 std::uint64_t
 Fabric::linkBytes(NodeId src, NodeId dst) const
 {

@@ -156,10 +156,12 @@ RunStats::accumulate(const RunStats &other)
             dst.kernelCalls[k] += src.kernelCalls[k];
     }
     startupNs += other.startupNs;
+    hostThreads = std::max(hostThreads, other.hostThreads);
+    hostWallNs += other.hostWallNs;
 }
 
 std::string
-RunStats::toJson() const
+RunStats::toJson(bool include_host) const
 {
     // Index order follows core::KernelKind.
     static const char *const kKernelNames[] = {"merge", "blocked",
@@ -188,8 +190,11 @@ RunStats::toJson() const
     for (std::size_t k = 0; k < kernel_totals.size(); ++k)
         os << (k == 0 ? "" : ", ") << "\"" << kKernelNames[k]
            << "\": " << kernel_totals[k];
-    os << "},\n"
-       << "  \"nodes\": [";
+    os << "},\n";
+    if (include_host && hostThreads > 0)
+        os << "  \"host\": {\"threads\": " << hostThreads
+           << ", \"wall_ns\": " << hostWallNs << "},\n";
+    os << "  \"nodes\": [";
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         const NodeStats &n = nodes[i];
         os << (i == 0 ? "\n" : ",\n")

@@ -84,6 +84,22 @@ struct RunStats
     /** Modeled startup charged once (engine/plan installation). */
     double startupNs = 0;
 
+    /** @name Host-side execution observability (not modeled)
+     *
+     * How the simulation itself ran on the host: worker threads
+     * used by the parallel unit runtime and accumulated wall-clock
+     * of run() calls.  Never part of the modeled machine — the
+     * determinism invariant is that everything *else* in this
+     * struct is bit-identical for every thread count.
+     */
+    /// @{
+    /** Host worker threads of the latest run (0 = never ran). */
+    unsigned hostThreads = 0;
+
+    /** Accumulated host wall-clock across run() calls (ns). */
+    double hostWallNs = 0;
+    /// @}
+
     /** Makespan: slowest node plus startup. */
     double makespanNs() const;
 
@@ -117,8 +133,13 @@ struct RunStats
      * breakdown (compute/comm/scheduler/cache, traffic, cache hit
      * rate) plus a per-node array — what `khuzdul --stats-json`
      * writes so bench trajectories need no stdout parsing.
+     *
+     * @param include_host also emit the "host" object (threads,
+     *        wall-clock) when the stats come from a real run.  Pass
+     *        false to get the purely modeled dump, which must be
+     *        byte-identical for every host thread count.
      */
-    std::string toJson() const;
+    std::string toJson(bool include_host = true) const;
 };
 
 } // namespace sim

@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <vector>
 
 namespace khuzdul
 {
@@ -113,6 +114,42 @@ class CountingTraceSink final : public TraceSink
   private:
     std::array<std::uint64_t, kNumPhaseEvents> counts_{};
     std::array<std::uint64_t, kNumPhaseEvents> values_{};
+};
+
+/**
+ * Buffers events in arrival order for a deferred, ordered replay.
+ * The engine gives every execution unit one of these so units can
+ * trace from concurrent host threads without interleaving; after
+ * the barrier the buffers are flushed into the real sink in unit
+ * order, reproducing the sequential event stream byte for byte.
+ */
+class BufferingTraceSink final : public TraceSink
+{
+  public:
+    void
+    emit(const TraceRecord &record) override
+    {
+        records_.push_back(record);
+    }
+
+    /** Buffered events not yet flushed. */
+    std::size_t size() const { return records_.size(); }
+
+    bool empty() const { return records_.empty(); }
+
+    void clear() { records_.clear(); }
+
+    /** Replay every buffered event into @p sink, then clear. */
+    void
+    flushTo(TraceSink &sink)
+    {
+        for (const TraceRecord &record : records_)
+            sink.emit(record);
+        records_.clear();
+    }
+
+  private:
+    std::vector<TraceRecord> records_;
 };
 
 /** Streams one JSON object per event (JSON-lines). */

@@ -170,6 +170,49 @@ TEST(Cli, StatsJsonWritesMachineReadableDump)
     std::remove(path.c_str());
 }
 
+TEST(Cli, ThreadsFlagIsParsedAndResultInvariant)
+{
+    // The first line (count) and the modeled cluster time must be
+    // identical for every --threads value; both spellings of the
+    // flag parse; garbage is rejected.
+    const auto modeled = [](const std::string &out) {
+        const auto pos = out.find("host wall time");
+        EXPECT_NE(pos, std::string::npos);
+        return out.substr(0, pos);
+    };
+    const std::string base = "count --graph rmat:800:4000:0.5:9 "
+                             "--pattern clique4 --nodes 2 ";
+    const auto reference = runCli(base + "--threads 1");
+    ASSERT_EQ(reference.first, 0);
+    for (const std::string flag :
+         {"--threads 2", "--threads=4", "--threads 0"}) {
+        const auto [code, out] = runCli(base + flag);
+        EXPECT_EQ(code, 0) << flag;
+        EXPECT_EQ(modeled(out), modeled(reference.second)) << flag;
+    }
+    EXPECT_EQ(runCli(base + "--threads lots").first, 1);
+}
+
+TEST(Cli, StatsJsonReportsHostThreads)
+{
+    // --nodes 2 with the default two sockets gives four execution
+    // units, so a three-thread request is used as-is.
+    const std::string path = testing::TempDir() + "/cli_host.json";
+    const auto [code, out] =
+        runCli("count --graph er:500:2000:3 --pattern triangle "
+               "--nodes 2 --threads 3 --stats-json " + path);
+    EXPECT_EQ(code, 0);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string json = content.str();
+    EXPECT_NE(json.find("\"host\": {\"threads\": 3"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"wall_ns\":"), std::string::npos);
+    std::remove(path.c_str());
+}
+
 TEST(Cli, TraceWritesJsonLines)
 {
     const std::string path = testing::TempDir() + "/cli_trace.jsonl";

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/engine.hh"
 #include "graph/generators.hh"
 #include "pattern/bruteforce.hh"
@@ -372,6 +374,80 @@ TEST(Engine, MoreNodesShortenModeledMakespan)
     core::Engine eight(g, smallConfig(8));
     eight.run(plan);
     EXPECT_LT(eight.stats().makespanNs(), one.stats().makespanNs());
+}
+
+TEST(Engine, ParallelRunKeepsVisitorsSequential)
+{
+    // MatchVisitor is client code of unknown thread-safety, so a
+    // visitor run must force one host thread even when more are
+    // configured — and still deliver every embedding.
+    const Graph g = gen::complete(7);
+    auto config = smallConfig(2);
+    config.hostThreads = 4;
+    core::Engine engine(g, config);
+    const auto plan = compileAutomine(Pattern::triangle(), {});
+    class CountVisitor : public core::MatchVisitor
+    {
+      public:
+        Count seen = 0;
+        void match(std::span<const VertexId>) override { ++seen; }
+    } visitor;
+    EXPECT_EQ(engine.run(plan, &visitor), 35u);
+    EXPECT_EQ(visitor.seen, 35u);
+    EXPECT_EQ(engine.stats().hostThreads, 1u);
+}
+
+TEST(Engine, ParallelRunReportsHostThreads)
+{
+    const Graph g = testGraph();
+    auto config = smallConfig(4); // 4 nodes x 2 sockets = 8 units
+    config.hostThreads = 3;
+    core::Engine engine(g, config);
+    engine.run(compileAutomine(Pattern::triangle(), {}));
+    EXPECT_EQ(engine.stats().hostThreads, 3u);
+    EXPECT_GT(engine.stats().hostWallNs, 0.0);
+    // The host block appears in the default dump, never in the
+    // purely modeled one.
+    EXPECT_NE(engine.stats().toJson().find("\"host\":"),
+              std::string::npos);
+    EXPECT_EQ(engine.stats().toJson(false).find("\"host\":"),
+              std::string::npos);
+}
+
+TEST(Engine, ByteCapFiresUnderParallelRun)
+{
+    // The fault injection point moves to the ordered merge, but the
+    // fault still surfaces from run() itself.
+    const Graph g = gen::rmat(400, 4000, 0.6, 0.15, 0.15, 44);
+    auto config = smallConfig(8);
+    config.cachePolicy = core::CachePolicy::None;
+    config.horizontalSharing = false;
+    config.hostThreads = 4;
+    core::Engine engine(g, config);
+    engine.fabric().setByteCap(1024);
+    EXPECT_THROW(engine.run(compileAutomine(Pattern::clique(4), {})),
+                 FatalError);
+}
+
+TEST(Engine, TraceStreamIsThreadCountInvariant)
+{
+    // The ordered per-unit flush must reproduce the sequential
+    // event stream byte for byte, not just in aggregate.
+    const Graph g = testGraph();
+    const auto plan = compileAutomine(Pattern::clique(4), {});
+    const auto stream = [&](unsigned threads) {
+        auto config = smallConfig(4);
+        config.hostThreads = threads;
+        core::Engine engine(g, config);
+        std::ostringstream out;
+        sim::JsonLinesTraceSink sink(out);
+        engine.setTraceSink(&sink);
+        engine.run(plan);
+        return out.str();
+    };
+    const std::string sequential = stream(1);
+    EXPECT_FALSE(sequential.empty());
+    EXPECT_EQ(stream(4), sequential);
 }
 
 TEST(Engine, VisitorRequiresCompleteSymmetryBreaking)

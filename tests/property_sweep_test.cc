@@ -274,5 +274,73 @@ INSTANTIATE_TEST_SUITE_P(Modes, KernelModeSweep,
                                          core::KernelMode::Gallop,
                                          core::KernelMode::Bitmap));
 
+/**
+ * Host-thread invariance: running the simulated units on any number
+ * of host threads (0 = all hardware threads) must leave every
+ * modeled result — counts, the full RunStats dump, the per-link
+ * fabric ledger, the phase-event tallies — byte-identical to the
+ * sequential run.  This is the determinism contract of the parallel
+ * unit runtime (DESIGN.md §6).
+ */
+class HostThreadSweep : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HostThreadSweep, ModeledResultsAreThreadCountInvariant)
+{
+    const Graph &g = sweepGraph();
+    core::EngineConfig config;
+    config.cluster = sim::ClusterConfig::paperDefault(4);
+    config.chunkBytes = 16 << 10;
+    config.cacheDegreeThreshold = 8;
+
+    core::EngineConfig reference_config = config;
+    reference_config.hostThreads = 1;
+    config.hostThreads = GetParam();
+
+    core::Engine reference(g, reference_config);
+    core::Engine engine(g, config);
+    for (const Pattern &p :
+         {Pattern::triangle(), Pattern::clique(4), Pattern::cycleOf(4),
+          Pattern::diamond()}) {
+        const auto plan = compileAutomine(p, {});
+        ASSERT_EQ(reference.run(plan), oracle(p)) << p.toString();
+        EXPECT_EQ(engine.run(plan), oracle(p)) << p.toString();
+    }
+
+    // The purely modeled dump (host block excluded) is compared as
+    // one string: any drifting double or counter shows up here.
+    EXPECT_EQ(engine.stats().toJson(false),
+              reference.stats().toJson(false));
+
+    // Per-link fabric ledger, byte for byte and message for message.
+    const NodeId nodes = config.cluster.numNodes;
+    EXPECT_EQ(engine.fabric().totalBytes(),
+              reference.fabric().totalBytes());
+    for (NodeId src = 0; src < nodes; ++src)
+        for (NodeId dst = 0; dst < nodes; ++dst) {
+            EXPECT_EQ(engine.fabric().linkBytes(src, dst),
+                      reference.fabric().linkBytes(src, dst))
+                << src << "<-" << dst;
+            EXPECT_EQ(engine.fabric().linkMessages(src, dst),
+                      reference.fabric().linkMessages(src, dst))
+                << src << "<-" << dst;
+        }
+
+    // The ordered trace replay reproduces the sequential stream.
+    for (std::size_t e = 0; e < sim::kNumPhaseEvents; ++e) {
+        const auto event = static_cast<sim::PhaseEvent>(e);
+        EXPECT_EQ(engine.traceCounts().count(event),
+                  reference.traceCounts().count(event))
+            << sim::phaseEventName(event);
+        EXPECT_EQ(engine.traceCounts().valueSum(event),
+                  reference.traceCounts().valueSum(event))
+            << sim::phaseEventName(event);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, HostThreadSweep,
+                         testing::Values(1u, 2u, 4u, 0u));
+
 } // namespace
 } // namespace khuzdul

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests of the work-stealing host thread pool: completion of
+ * every task, reuse across runs, oversubscription (more tasks than
+ * workers), deterministic exception surfacing, and the 0-means-all
+ * thread-count resolution convention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel/thread_pool.hh"
+
+namespace khuzdul
+{
+namespace
+{
+
+TEST(ThreadPool, ExecutesEveryTaskExactlyOnce)
+{
+    core::ThreadPool pool(4);
+    constexpr std::size_t kTasks = 128;
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.run(kTasks, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kTasks; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ReusableAcrossRuns)
+{
+    core::ThreadPool pool(3);
+    std::vector<int> out(10, 0);
+    for (int round = 1; round <= 4; ++round)
+        pool.run(out.size(),
+                 [&](std::size_t i) { out[i] = round; });
+    for (const int v : out)
+        EXPECT_EQ(v, 4);
+    pool.run(0, [](std::size_t) { FAIL() << "no tasks to run"; });
+}
+
+TEST(ThreadPool, MoreWorkersThanTasks)
+{
+    core::ThreadPool pool(8);
+    std::atomic<int> sum{0};
+    pool.run(3, [&](std::size_t i) {
+        sum += static_cast<int>(i) + 1;
+    });
+    EXPECT_EQ(sum.load(), 6);
+}
+
+TEST(ThreadPool, SingleWorkerCompletesEveryTask)
+{
+    // Execution order is deliberately unspecified (the owner pops
+    // LIFO and may race the seeding loop); completeness is not.
+    core::ThreadPool pool(1);
+    std::vector<std::size_t> ran;
+    pool.run(6, [&](std::size_t i) { ran.push_back(i); });
+    std::sort(ran.begin(), ran.end());
+    std::vector<std::size_t> expected(6);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(ran, expected);
+}
+
+TEST(ThreadPool, LowestIndexedExceptionWins)
+{
+    core::ThreadPool pool(4);
+    const auto throw_from = [&](std::size_t task) {
+        try {
+            pool.run(64, [&](std::size_t i) {
+                if (i >= task)
+                    throw std::runtime_error(
+                        "task " + std::to_string(i));
+            });
+        } catch (const std::runtime_error &e) {
+            return std::string(e.what());
+        }
+        return std::string();
+    };
+    // Every task from 40 up throws; the surfaced error must be the
+    // lowest index regardless of which worker hit it first.
+    EXPECT_EQ(throw_from(40), "task 40");
+    // The pool stays usable after a failed run.
+    std::atomic<int> ran{0};
+    pool.run(8, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ResolveThreadCount)
+{
+    EXPECT_EQ(core::ThreadPool::resolveThreadCount(1), 1u);
+    EXPECT_EQ(core::ThreadPool::resolveThreadCount(7), 7u);
+    EXPECT_GE(core::ThreadPool::resolveThreadCount(0), 1u);
+}
+
+} // namespace
+} // namespace khuzdul

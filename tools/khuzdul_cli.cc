@@ -234,6 +234,9 @@ engineConfigFromArgs(const Args &args)
         config.numaAware = false;
     config.kernelMode = core::parseKernelMode(
         args.get("kernel", "auto"));
+    // Host-side only: results are bit-identical for every value.
+    config.hostThreads =
+        static_cast<unsigned>(args.getU64("threads", 0));
     return config;
 }
 
@@ -462,6 +465,10 @@ cmdHelp(const std::string &topic)
                   "  [--cache-fraction F] [--no-cache] [--no-hds] "
                   "[--no-numa]\n"
                   "  [--kernel auto|merge|gallop|bitmap]\n"
+                  "  [--threads N]  host threads running simulated "
+                  "units (0 = all;\n"
+                  "                 modeled results identical for "
+                  "every N)\n"
                   "  [--stats-json FILE] [--trace FILE]");
     } else {
         std::puts(
