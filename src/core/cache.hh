@@ -96,7 +96,11 @@ class DataCache
     std::uint64_t capacityBytes_;
     EdgeId degreeThreshold_;
 
-    /** Cached vertex -> position in order_ (replacement policies). */
+    /** Cached vertex -> position in order_ (replacement policies).
+     *  Never iterated: residency queries go through find/contains
+     *  and eviction order comes from order_, so hash layout cannot
+     *  leak into modeled results. */
+    // khuzdul-lint: allow(unordered-iter) lookup-only (find/emplace/erase); eviction order lives in order_
     std::unordered_map<VertexId, std::list<VertexId>::iterator> entries_;
     /** Eviction order bookkeeping (front = next victim candidate
      *  end depends on policy). */

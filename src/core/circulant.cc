@@ -45,6 +45,7 @@ CirculantScheduler::issue(sim::TransferRecorder &recorder,
         const NodeId dst = owner / unitsPerNode_;
         trace.emit({sim::PhaseEvent::FetchBatchIssued, unit_, level,
                     batch.bytes, batch.lists});
+        // khuzdul-lint: allow(fabric-mutation) CirculantScheduler::issue IS the sanctioned transfer entry point
         batch.commNs = recorder.recordTransfer(node_, dst, batch.bytes,
                                                batch.lists);
         trace.emit({sim::PhaseEvent::FetchBatchCompleted, unit_, level,

@@ -290,6 +290,7 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
         ? 1u
         : std::min(ThreadPool::resolveThreadCount(config_.hostThreads),
                    units);
+    // khuzdul-lint: allow(wall-clock) host observability: feeds RunStats::hostWallNs, excluded from toJson(false)
     const auto wall_start = std::chrono::steady_clock::now();
 
     // Per-unit isolation (§6): each unit journals fabric transfers
@@ -338,6 +339,7 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
 
     stats_.hostThreads = std::max(stats_.hostThreads, threads);
     stats_.hostWallNs += std::chrono::duration<double, std::nano>(
+        // khuzdul-lint: allow(wall-clock) host observability: feeds RunStats::hostWallNs, excluded from toJson(false)
         std::chrono::steady_clock::now() - wall_start)
                              .count();
 
@@ -353,6 +355,7 @@ Engine::resetStats()
 {
     stats_ = sim::RunStats{};
     stats_.nodes.resize(partition_.numUnits());
+    // khuzdul-lint: allow(fabric-mutation) sequential ledger wipe between census patterns; no units in flight
     fabric_.reset();
     traceCounts_.reset();
     for (auto &sink : unitSinks_)

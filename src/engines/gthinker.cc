@@ -1,7 +1,6 @@
 #include "engines/gthinker.hh"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "core/cache.hh"
 #include "core/provider.hh"
@@ -15,17 +14,36 @@ namespace engines
 namespace
 {
 
-/** Collects the distinct edge lists one task (tree) touches. */
+/**
+ * Collects the distinct edge lists one task (tree) touches.
+ * Accesses accumulate with duplicates and are deduplicated into
+ * ascending order on read: the k-hop pull below resolves lists
+ * through a stateful (LRU) cache, so the iteration order must be a
+ * pure function of the access set — a hash-set walk would let the
+ * modeled hit pattern depend on bucket layout.
+ */
 class AccessCollector : public core::RunnerHooks
 {
   public:
     void
     onEdgeListAccess(VertexId v) override
     {
-        accessed.insert(v);
+        accessed_.push_back(v);
     }
 
-    std::unordered_set<VertexId> accessed;
+    /** Distinct accessed vertices, ascending. */
+    const std::vector<VertexId> &
+    distinctSorted()
+    {
+        std::sort(accessed_.begin(), accessed_.end());
+        accessed_.erase(
+            std::unique(accessed_.begin(), accessed_.end()),
+            accessed_.end());
+        return accessed_;
+    }
+
+  private:
+    std::vector<VertexId> accessed_;
 };
 
 } // namespace
@@ -98,7 +116,9 @@ GThinkerEngine::count(const Pattern &p, const PlanOptions &options)
             std::uint64_t pull_bytes = 0;
             std::uint64_t pull_lists = 0;
             std::uint64_t subgraph_bytes = 0;
-            for (const VertexId v : collector.accessed) {
+            const std::vector<VertexId> &accessed =
+                collector.distinctSorted();
+            for (const VertexId v : accessed) {
                 subgraph_bytes += graph_->edgeListBytes(v);
                 const core::Resolution r =
                     provider.resolve(n, v, nullptr, st);
@@ -117,7 +137,7 @@ GThinkerEngine::count(const Pattern &p, const PlanOptions &options)
             // Garbage-collection sweep: the cache checks whether the
             // tasks using each cached list have completed.
             st.cacheNs += cost.gthinkerGcCheckNs * contention
-                * static_cast<double>(collector.accessed.size());
+                * static_cast<double>(accessed.size());
         }
 
         // Scheduler: readiness scans over in-flight tasks.  With

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_set>
+#include <set>
 
 #include "pattern/isomorphism.hh"
 #include "support/check.hh"
@@ -29,12 +29,17 @@ struct CanonEntry
     iso::Permutation perm;
 };
 
-/** Aggregation state of one canonical labeled pattern. */
+/**
+ * Aggregation state of one canonical labeled pattern.  Domains are
+ * ordered sets: they are merged by iteration during orbit folding
+ * below, and the determinism contract (DESIGN.md §8) bans
+ * hash-order walks in modeled zones.
+ */
 struct Aggregate
 {
     Pattern canon;
     Count instances = 0;
-    std::vector<std::unordered_set<VertexId>> domains;
+    std::vector<std::set<VertexId>> domains;
 };
 
 /**
@@ -264,7 +269,7 @@ PatternObliviousEngine::mineFrequent(int max_edges, Count min_support)
         for (int i = 0; i < n; ++i) {
             if (done[i])
                 continue;
-            std::unordered_set<VertexId> merged;
+            std::set<VertexId> merged;
             for (const auto &sigma : autos) {
                 const int j = sigma[i];
                 if (!done[j]) {

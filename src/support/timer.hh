@@ -3,6 +3,13 @@
  * Wall-clock timing helper.  Benches report *modeled* cluster time
  * from sim::RunStats; the wall timer exists to report host-side
  * execution cost alongside it.
+ *
+ * HOST-ONLY: nothing under src/ may instantiate Timer — only
+ * bench/ and tools/ do.  A Timer reaching a modeled path would
+ * make results a function of host speed, which the determinism
+ * contract (DESIGN.md §8) forbids; khuzdul_lint allowlists this
+ * file's steady_clock use on that basis, so a new call site inside
+ * the modeled zones is a lint failure, not a style nit.
  */
 
 #ifndef KHUZDUL_SUPPORT_TIMER_HH

@@ -1,0 +1,514 @@
+/**
+ * @file
+ * khuzdul_lint analyzer tests: fixture snippets fed through
+ * analyzeSource (one positive and one suppressed case per rule),
+ * allowlist parsing, stale-suppression detection and the --json
+ * report shape.  The real-tree gate itself is the khuzdul_lint_src
+ * ctest registered in tools/CMakeLists.txt.
+ */
+
+#include "tools/lint/analyzer.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace lint = khuzdul::lint;
+
+namespace
+{
+
+lint::Report
+run(const std::string &path, const std::string &source,
+    std::vector<lint::AllowlistEntry> *allowlist = nullptr)
+{
+    lint::Report report;
+    lint::analyzeSource(path, source, allowlist, report);
+    return report;
+}
+
+int
+liveCount(const lint::Report &report, const std::string &rule)
+{
+    int n = 0;
+    for (const lint::Finding &f : report.findings)
+        if (f.rule == rule && f.live())
+            ++n;
+    return n;
+}
+
+int
+suppressedCount(const lint::Report &report, const std::string &rule)
+{
+    int n = 0;
+    for (const lint::Finding &f : report.findings)
+        if (f.rule == rule && !f.live())
+            ++n;
+    return n;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------
+// Rules table.
+// ----------------------------------------------------------------
+
+TEST(LintRules, TableListsEveryContractRule)
+{
+    std::vector<std::string> ids;
+    for (const lint::RuleInfo &r : lint::rules())
+        ids.push_back(r.id);
+    const std::vector<std::string> expected = {
+        "wall-clock",   "prng",         "unordered-iter",
+        "thread-primitive", "fabric-mutation", "header-guard",
+        "using-namespace-header"};
+    EXPECT_EQ(ids, expected);
+    for (const std::string &id : ids)
+        EXPECT_TRUE(lint::isRuleId(id));
+    EXPECT_FALSE(lint::isRuleId("no-such-rule"));
+}
+
+// ----------------------------------------------------------------
+// wall-clock.
+// ----------------------------------------------------------------
+
+TEST(LintWallClock, FlagsSteadyClockAnywhereUnderSrc)
+{
+    const auto r = run("src/graph/io.cc",
+                       "auto t = std::chrono::steady_clock::now();\n");
+    EXPECT_EQ(liveCount(r, "wall-clock"), 1);
+    EXPECT_EQ(r.findings[0].line, 1);
+}
+
+TEST(LintWallClock, SameLineAnnotationSuppressesWithReason)
+{
+    const auto r = run(
+        "src/core/engine.cc",
+        "auto t = std::chrono::steady_clock::now(); "
+        "// khuzdul-lint: allow(wall-clock) host wall-time only\n");
+    EXPECT_EQ(liveCount(r, "wall-clock"), 0);
+    EXPECT_EQ(suppressedCount(r, "wall-clock"), 1);
+    EXPECT_EQ(r.findings[0].suppression,
+              lint::SuppressionKind::Annotation);
+    EXPECT_EQ(r.findings[0].reason, "host wall-time only");
+    EXPECT_TRUE(r.passes(true));
+}
+
+TEST(LintWallClock, CommentsAndStringsAreNotCode)
+{
+    const auto r = run("src/core/engine.cc",
+                       "// steady_clock mentioned in prose\n"
+                       "/* system_clock too */\n"
+                       "const char *s = \"random_device\";\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+// ----------------------------------------------------------------
+// prng.
+// ----------------------------------------------------------------
+
+TEST(LintPrng, FlagsStdRandomSources)
+{
+    const auto r = run("src/graph/generators.cc",
+                       "#include <random>\n"
+                       "std::random_device rd;\n"
+                       "int x = rand() % 7;\n");
+    EXPECT_EQ(liveCount(r, "prng"), 3);
+}
+
+TEST(LintPrng, PreviousLineAnnotationSuppresses)
+{
+    const auto r =
+        run("src/graph/generators.cc",
+            "// khuzdul-lint: allow(prng) seeding jitter for the "
+            "host-only warmup path\n"
+            "std::random_device rd;\n");
+    EXPECT_EQ(liveCount(r, "prng"), 0);
+    EXPECT_EQ(suppressedCount(r, "prng"), 1);
+}
+
+TEST(LintPrng, DoesNotFlagWordsContainingRand)
+{
+    const auto r = run("src/core/extender.cc",
+                       "int operand = 3; auto rando = operand;\n");
+    EXPECT_EQ(liveCount(r, "prng"), 0);
+}
+
+// ----------------------------------------------------------------
+// unordered-iter.
+// ----------------------------------------------------------------
+
+TEST(LintUnordered, FlagsUseInModeledZoneButNotOutside)
+{
+    const std::string code =
+        "std::unordered_map<int, int> m;\n";
+    EXPECT_EQ(liveCount(run("src/sim/stats.cc", code),
+                        "unordered-iter"),
+              1);
+    EXPECT_EQ(liveCount(run("src/core/provider.cc", code),
+                        "unordered-iter"),
+              1);
+    EXPECT_EQ(liveCount(run("src/engines/gthinker.cc", code),
+                        "unordered-iter"),
+              1);
+    // graph/, pattern/, apps/, support/ are outside the modeled
+    // zones; hash containers are fine there.
+    EXPECT_EQ(liveCount(run("src/graph/builder.cc", code),
+                        "unordered-iter"),
+              0);
+    EXPECT_EQ(liveCount(run("src/apps/fsm.cc", code),
+                        "unordered-iter"),
+              0);
+}
+
+TEST(LintUnordered, IncludeLinesAreNotUses)
+{
+    const auto r = run("src/sim/stats.cc",
+                       "#include <unordered_map>\n");
+    EXPECT_EQ(liveCount(r, "unordered-iter"), 0);
+}
+
+TEST(LintUnordered, LookupOnlyAnnotationSuppresses)
+{
+    const auto r = run(
+        "src/core/cache.hh",
+        "#ifndef X\n"
+        "// khuzdul-lint: allow(unordered-iter) lookup-only residency "
+        "map; order lives elsewhere\n"
+        "std::unordered_map<int, int> entries_;\n"
+        "#endif\n");
+    EXPECT_EQ(liveCount(r, "unordered-iter"), 0);
+    EXPECT_EQ(suppressedCount(r, "unordered-iter"), 1);
+}
+
+// ----------------------------------------------------------------
+// thread-primitive.
+// ----------------------------------------------------------------
+
+TEST(LintThread, FlagsPrimitivesInModeledZones)
+{
+    const auto r = run("src/core/extender.cc",
+                       "std::mutex m;\n"
+                       "std::atomic<int> a{0};\n"
+                       "auto id = std::this_thread::get_id();\n"
+                       "#include <thread>\n");
+    EXPECT_EQ(liveCount(r, "thread-primitive"), 4);
+}
+
+TEST(LintThread, ParallelRuntimeDirIsExempt)
+{
+    const auto r = run("src/core/parallel/thread_pool.cc",
+                       "std::mutex m;\n"
+                       "std::condition_variable cv;\n");
+    EXPECT_EQ(liveCount(r, "thread-primitive"), 0);
+}
+
+TEST(LintThread, PlainIdentifiersDoNotMatch)
+{
+    const auto r = run("src/core/engine.cc",
+                       "unsigned threads = config.hostThreads;\n"
+                       "ThreadPool pool(threads);\n");
+    EXPECT_EQ(liveCount(r, "thread-primitive"), 0);
+}
+
+TEST(LintThread, AnnotationSuppresses)
+{
+    const auto r = run("src/sim/trace.cc",
+                       "// khuzdul-lint: allow(thread-primitive) "
+                       "per-unit flush token, merged in unit order\n"
+                       "std::atomic<bool> flushed{false};\n");
+    EXPECT_EQ(liveCount(r, "thread-primitive"), 0);
+    EXPECT_EQ(suppressedCount(r, "thread-primitive"), 1);
+}
+
+// ----------------------------------------------------------------
+// fabric-mutation.
+// ----------------------------------------------------------------
+
+TEST(LintFabric, FlagsRawMutatorsOutsideFabricImpl)
+{
+    const auto r = run("src/engines/khuzdul_system.cc",
+                       "fabric.setByteCap(1024);\n"
+                       "double ns = f.recordTransfer(0, 1, 64, 1);\n"
+                       "fabric_.reset();\n"
+                       "fabric_.apply(delta);\n");
+    EXPECT_EQ(liveCount(r, "fabric-mutation"), 3); // apply is fine
+}
+
+TEST(LintFabric, FabricImplAndAnnotationAreExempt)
+{
+    const std::string mutators = "setByteCap(0);\n"
+                                 "recordTransfer(0, 1, 64, 1);\n";
+    EXPECT_EQ(liveCount(run("src/sim/fabric.cc", mutators),
+                        "fabric-mutation"),
+              0);
+    const auto r = run("src/core/circulant.cc",
+                       "// khuzdul-lint: allow(fabric-mutation) issue "
+                       "is the sanctioned entry point\n"
+                       "batch.commNs = recorder.recordTransfer(n, d, "
+                       "b, l);\n");
+    EXPECT_EQ(liveCount(r, "fabric-mutation"), 0);
+    EXPECT_EQ(suppressedCount(r, "fabric-mutation"), 1);
+}
+
+// ----------------------------------------------------------------
+// header hygiene.
+// ----------------------------------------------------------------
+
+TEST(LintHeaderGuard, FlagsUnguardedHeader)
+{
+    const auto r = run("src/graph/new_thing.hh",
+                       "/* prose */\n"
+                       "int f();\n");
+    EXPECT_EQ(liveCount(r, "header-guard"), 1);
+    EXPECT_EQ(r.findings[0].line, 2);
+}
+
+TEST(LintHeaderGuard, AcceptsGuardOrPragmaAfterComments)
+{
+    EXPECT_TRUE(run("src/a.hh",
+                    "/** @file doc */\n"
+                    "#ifndef A_HH\n#define A_HH\n#endif\n")
+                    .findings.empty());
+    EXPECT_TRUE(
+        run("src/b.hh", "#pragma once\nint f();\n").findings.empty());
+    // .cc files need no guard.
+    EXPECT_TRUE(run("src/c.cc", "int f() { return 0; }\n")
+                    .findings.empty());
+}
+
+TEST(LintHeaderGuard, AllowlistSuppresses)
+{
+    std::vector<lint::AllowlistEntry> allow;
+    std::vector<std::string> errors;
+    allow = lint::parseAllowlist(
+        "src/graph/legacy.hh header-guard vendored header kept "
+        "verbatim\n",
+        "allow.txt", errors);
+    ASSERT_TRUE(errors.empty());
+    const auto r = run("src/graph/legacy.hh", "int f();\n", &allow);
+    EXPECT_EQ(liveCount(r, "header-guard"), 0);
+    EXPECT_EQ(suppressedCount(r, "header-guard"), 1);
+    EXPECT_EQ(r.findings[0].suppression,
+              lint::SuppressionKind::Allowlist);
+    EXPECT_TRUE(allow[0].used);
+}
+
+TEST(LintUsingNamespace, FlagsHeadersOnly)
+{
+    const std::string code = "#pragma once\nusing namespace std;\n";
+    EXPECT_EQ(liveCount(run("src/core/x.hh", code),
+                        "using-namespace-header"),
+              1);
+    EXPECT_EQ(liveCount(run("src/core/x.cc", "using namespace std;\n"),
+                        "using-namespace-header"),
+              0);
+}
+
+TEST(LintUsingNamespace, AnnotationSuppresses)
+{
+    const auto r = run("src/core/x.hh",
+                       "#pragma once\n"
+                       "// khuzdul-lint: allow(using-namespace-header) "
+                       "literal operators need it in this TU\n"
+                       "using namespace std::literals;\n");
+    EXPECT_EQ(liveCount(r, "using-namespace-header"), 0);
+    EXPECT_EQ(suppressedCount(r, "using-namespace-header"), 1);
+}
+
+// ----------------------------------------------------------------
+// Annotation grammar and staleness.
+// ----------------------------------------------------------------
+
+TEST(LintAnnotations, UnknownRuleAndMissingReasonAreErrors)
+{
+    const auto unknown = run("src/core/a.cc",
+                             "// khuzdul-lint: allow(bogus-rule) x\n");
+    ASSERT_EQ(unknown.errors.size(), 1u);
+    EXPECT_NE(unknown.errors[0].find("unknown rule"),
+              std::string::npos);
+    EXPECT_FALSE(unknown.passes(false));
+
+    const auto bare = run("src/core/a.cc",
+                          "std::unordered_map<int,int> m; "
+                          "// khuzdul-lint: allow(unordered-iter)\n");
+    ASSERT_EQ(bare.errors.size(), 1u);
+    EXPECT_NE(bare.errors[0].find("missing its written reason"),
+              std::string::npos);
+    // The finding stays live: a reasonless annotation grants nothing.
+    EXPECT_EQ(liveCount(bare, "unordered-iter"), 1);
+}
+
+TEST(LintAnnotations, UnusedAnnotationIsStale)
+{
+    const auto r = run("src/core/a.cc",
+                       "// khuzdul-lint: allow(wall-clock) leftover\n"
+                       "int x = 0;\n");
+    ASSERT_EQ(r.stale.size(), 1u);
+    EXPECT_EQ(r.stale[0].rule, "wall-clock");
+    EXPECT_EQ(r.stale[0].line, 1);
+    EXPECT_TRUE(r.passes(false));  // advisory by default...
+    EXPECT_FALSE(r.passes(true));  // ...fatal under --strict
+}
+
+// ----------------------------------------------------------------
+// Allowlist parsing.
+// ----------------------------------------------------------------
+
+TEST(LintAllowlist, ParsesEntriesSkipsCommentsRejectsMalformed)
+{
+    std::vector<std::string> errors;
+    const auto entries = lint::parseAllowlist(
+        "# comment\n"
+        "\n"
+        "src/support/timer.hh wall-clock host-only stopwatch\n"
+        "just-a-path\n"
+        "src/a.cc bogus-rule why\n"
+        "src/b.cc prng\n",
+        "allow.txt", errors);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].path, "src/support/timer.hh");
+    EXPECT_EQ(entries[0].rule, "wall-clock");
+    EXPECT_EQ(entries[0].reason, "host-only stopwatch");
+    EXPECT_EQ(entries[0].line, 3);
+    ASSERT_EQ(errors.size(), 3u);
+    EXPECT_NE(errors[0].find("allow.txt:4"), std::string::npos);
+    EXPECT_NE(errors[1].find("unknown rule"), std::string::npos);
+    EXPECT_NE(errors[2].find("missing its written reason"),
+              std::string::npos);
+}
+
+TEST(LintAllowlist, MatchesAnchoredPathSuffixOnly)
+{
+    std::vector<std::string> errors;
+    auto allow = lint::parseAllowlist(
+        "core/engine.cc wall-clock host wall time\n", "allow.txt",
+        errors);
+    ASSERT_TRUE(errors.empty());
+    const std::string clock = "auto t = std::chrono::steady_clock::now();\n";
+    // Anchored suffix: matches under any prefix directory...
+    EXPECT_EQ(liveCount(run("repo/src/core/engine.cc", clock, &allow),
+                        "wall-clock"),
+              0);
+    // ...but not a partial component.
+    EXPECT_EQ(liveCount(run("src/xcore/engine.cc", clock, &allow),
+                        "wall-clock"),
+              1);
+}
+
+// ----------------------------------------------------------------
+// Tree scan + JSON shape.
+// ----------------------------------------------------------------
+
+namespace
+{
+
+/** Temp fixture tree; removed on destruction. */
+class FixtureTree
+{
+  public:
+    FixtureTree()
+    {
+        root_ = std::filesystem::temp_directory_path()
+            / ("khuzdul_lint_test_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(root_);
+        std::filesystem::create_directories(root_);
+    }
+
+    ~FixtureTree() { std::filesystem::remove_all(root_); }
+
+    std::string
+    write(const std::string &rel, const std::string &content)
+    {
+        const std::filesystem::path p = root_ / rel;
+        std::filesystem::create_directories(p.parent_path());
+        std::ofstream out(p);
+        out << content;
+        return p.generic_string();
+    }
+
+    std::string path() const { return root_.generic_string(); }
+
+  private:
+    std::filesystem::path root_;
+};
+
+} // namespace
+
+TEST(LintTree, ScansRecursivelyAndReportsStaleAllowlist)
+{
+    FixtureTree tree;
+    tree.write("src/sim/bad.cc", "std::unordered_set<int> s;\n");
+    tree.write("src/core/ok.cc", "int f() { return 1; }\n");
+    tree.write("src/notes.txt", "steady_clock\n"); // not a source
+    std::vector<std::string> errors;
+    auto allow = lint::parseAllowlist(
+        "src/support/timer.hh wall-clock host-only stopwatch\n",
+        "allow.txt", errors);
+    ASSERT_TRUE(errors.empty());
+
+    const lint::Report report =
+        lint::analyzePaths({tree.path()}, std::move(allow),
+                           "allow.txt");
+    EXPECT_EQ(report.filesScanned, 2u);
+    EXPECT_EQ(report.violations(), 1u);
+    ASSERT_EQ(report.stale.size(), 1u);
+    EXPECT_EQ(report.stale[0].file, "allow.txt");
+    EXPECT_FALSE(report.passes(false));
+    EXPECT_FALSE(report.passes(true));
+}
+
+TEST(LintTree, MissingPathIsAnError)
+{
+    const lint::Report report =
+        lint::analyzePaths({"/no/such/path"}, {}, "");
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_FALSE(report.passes(false));
+}
+
+TEST(LintJson, ShapeAndEscaping)
+{
+    lint::Report report;
+    lint::analyzeSource(
+        "src/sim/bad.cc",
+        "std::unordered_map<int, std::string> m; // \"quoted\"\n",
+        nullptr, report);
+    const std::string json = lint::toJson(report, true);
+    EXPECT_NE(json.find("\"tool\": \"khuzdul_lint\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"strict\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"passed\": false"), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"unordered-iter\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"suppression\": \"none\""),
+              std::string::npos);
+    // The snippet's quotes must arrive escaped.
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"stale_suppressions\": []"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"errors\": []"), std::string::npos);
+}
+
+TEST(LintJson, SuppressedFindingCarriesReasonAndKind)
+{
+    lint::Report report;
+    lint::analyzeSource(
+        "src/core/engine.cc",
+        "auto t = std::chrono::steady_clock::now(); "
+        "// khuzdul-lint: allow(wall-clock) host wall time\n",
+        nullptr, report);
+    const std::string json = lint::toJson(report, false);
+    EXPECT_NE(json.find("\"suppression\": \"annotation\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"reason\": \"host wall time\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"passed\": true"), std::string::npos);
+}

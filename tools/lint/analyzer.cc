@@ -1,0 +1,790 @@
+#include "tools/lint/analyzer.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace khuzdul
+{
+namespace lint
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// Rules table.
+// ---------------------------------------------------------------
+
+const std::vector<RuleInfo> &
+ruleTable()
+{
+    static const std::vector<RuleInfo> table = {
+        {"wall-clock", RuleScope::AllSources,
+         "no wall-clock reads (steady_clock/system_clock/...) — "
+         "modeled time comes from the cost model; host-observability "
+         "sites need an annotation or allowlist entry"},
+        {"prng", RuleScope::AllSources,
+         "no std PRNG sources (random_device/mt19937/rand/...) — "
+         "all randomness derives from support/rng.hh seeds"},
+        {"unordered-iter", RuleScope::ModeledZones,
+         "no std::unordered_{map,set} in modeled zones — iteration "
+         "order is nondeterministic; lookup-only uses must be "
+         "annotated with a reason, iterated uses replaced by sorted "
+         "containers"},
+        {"thread-primitive", RuleScope::ModeledZones,
+         "no std threading/atomics in modeled zones outside "
+         "core/parallel/ — units communicate only via per-unit "
+         "deltas merged in unit order"},
+        {"fabric-mutation", RuleScope::ModeledZones,
+         "fabric ledger mutation only via Fabric::apply / "
+         "CirculantScheduler::issue outside sim/fabric.cc — no raw "
+         "recordTransfer/setByteCap/reset calls"},
+        {"header-guard", RuleScope::HeadersOnly,
+         "every header opens with #pragma once or an #ifndef guard"},
+        {"using-namespace-header", RuleScope::HeadersOnly,
+         "no `using namespace` at header scope"},
+    };
+    return table;
+}
+
+// ---------------------------------------------------------------
+// Path classification.
+// ---------------------------------------------------------------
+
+std::string
+normalizePath(std::string path)
+{
+    std::replace(path.begin(), path.end(), '\\', '/');
+    while (path.rfind("./", 0) == 0)
+        path.erase(0, 2);
+    return path;
+}
+
+/** Whether @p dir appears in @p path on component boundaries. */
+bool
+pathHasDir(const std::string &path, const std::string &dir)
+{
+    const std::string needle = dir + "/";
+    std::size_t pos = path.find(needle);
+    while (pos != std::string::npos) {
+        if (pos == 0 || path[pos - 1] == '/')
+            return true;
+        pos = path.find(needle, pos + 1);
+    }
+    return false;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size()
+        && s.compare(s.size() - suffix.size(), suffix.size(), suffix)
+        == 0;
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    return endsWith(path, ".hh") || endsWith(path, ".hpp")
+        || endsWith(path, ".h");
+}
+
+bool
+isSourcePath(const std::string &path)
+{
+    return isHeaderPath(path) || endsWith(path, ".cc")
+        || endsWith(path, ".cpp") || endsWith(path, ".cxx");
+}
+
+/** The zones whose results feed modeled makespans and ledgers. */
+bool
+isModeledZone(const std::string &path)
+{
+    return pathHasDir(path, "src/core") || pathHasDir(path, "src/sim")
+        || pathHasDir(path, "src/engines");
+}
+
+/** core/parallel/ hosts the sanctioned threading primitives. */
+bool
+isParallelRuntime(const std::string &path)
+{
+    return pathHasDir(path, "src/core/parallel");
+}
+
+/** sim/fabric.* owns the ledger and may mutate it freely. */
+bool
+isFabricImpl(const std::string &path)
+{
+    return pathHasDir(path, "src/sim")
+        && (endsWith(path, "/fabric.cc") || endsWith(path, "/fabric.hh")
+            || path == "fabric.cc" || path == "fabric.hh");
+}
+
+// ---------------------------------------------------------------
+// Comment / literal stripping.
+// ---------------------------------------------------------------
+
+/**
+ * Blank out comments and string/char literal contents of one line,
+ * carrying block-comment state across lines.  Replaced bytes become
+ * spaces so column numbers keep meaning.
+ */
+std::string
+sanitizeLine(const std::string &raw, bool &in_block_comment)
+{
+    std::string out(raw.size(), ' ');
+    std::size_t i = 0;
+    while (i < raw.size()) {
+        if (in_block_comment) {
+            if (raw[i] == '*' && i + 1 < raw.size()
+                && raw[i + 1] == '/') {
+                in_block_comment = false;
+                i += 2;
+                continue;
+            }
+            ++i;
+            continue;
+        }
+        const char c = raw[i];
+        if (c == '/' && i + 1 < raw.size()) {
+            if (raw[i + 1] == '/')
+                break; // rest of line is a comment
+            if (raw[i + 1] == '*') {
+                in_block_comment = true;
+                i += 2;
+                continue;
+            }
+        }
+        if (c == '"' || c == '\'') {
+            // Raw strings: skip R"( ... )" without custom delimiters.
+            if (c == '"' && i > 0 && raw[i - 1] == 'R') {
+                const std::size_t close = raw.find(")\"", i + 1);
+                out[i] = '"';
+                if (close == std::string::npos) {
+                    i = raw.size();
+                } else {
+                    out[close + 1] = '"';
+                    i = close + 2;
+                }
+                continue;
+            }
+            const char quote = c;
+            out[i] = quote;
+            ++i;
+            while (i < raw.size()) {
+                if (raw[i] == '\\') {
+                    i += 2;
+                    continue;
+                }
+                if (raw[i] == quote) {
+                    out[i] = quote;
+                    ++i;
+                    break;
+                }
+                ++i;
+            }
+            continue;
+        }
+        out[i] = c;
+        ++i;
+    }
+    // Trim trailing spaces introduced by blanking.
+    while (!out.empty() && out.back() == ' ')
+        out.pop_back();
+    return out;
+}
+
+bool
+isBlank(const std::string &s)
+{
+    return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+        return std::isspace(c) != 0;
+    });
+}
+
+std::string
+trimCopy(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+// ---------------------------------------------------------------
+// Annotation parsing: // khuzdul-lint: allow(<rule>) <reason>
+// ---------------------------------------------------------------
+
+struct Annotation
+{
+    std::string rule;
+    std::string reason;
+    int sourceLine = 0; ///< where the annotation itself sits
+    bool used = false;
+};
+
+const char kAnnotationMarker[] = "khuzdul-lint:";
+
+/**
+ * Parse every annotation on @p raw (a raw source line).  Grammar
+ * errors append to @p errors and yield no annotation.
+ */
+std::vector<Annotation>
+parseAnnotations(const std::string &path, int line_no,
+                 const std::string &raw, std::vector<std::string> &errors)
+{
+    std::vector<Annotation> result;
+    static const std::regex grammar(
+        R"(khuzdul-lint:\s*allow\(([A-Za-z0-9_-]+)\)[ \t]*(.*))");
+    std::size_t pos = raw.find(kAnnotationMarker);
+    while (pos != std::string::npos) {
+        std::smatch m;
+        const std::string tail = raw.substr(pos);
+        std::ostringstream where;
+        where << path << ":" << line_no;
+        if (!std::regex_search(tail, m, grammar)
+            || m.position(0) != 0) {
+            errors.push_back(where.str()
+                             + ": malformed khuzdul-lint annotation "
+                               "(expected `khuzdul-lint: "
+                               "allow(<rule>) <reason>`)");
+            break;
+        }
+        Annotation a;
+        a.rule = m[1].str();
+        a.reason = trimCopy(m[2].str());
+        a.sourceLine = line_no;
+        if (!isRuleId(a.rule)) {
+            errors.push_back(where.str() + ": annotation names unknown "
+                                           "rule `" + a.rule + "`");
+        } else if (a.reason.empty()) {
+            errors.push_back(where.str() + ": allow(" + a.rule
+                             + ") annotation is missing its written "
+                               "reason");
+        } else {
+            result.push_back(std::move(a));
+        }
+        pos = raw.find(kAnnotationMarker,
+                       pos + sizeof(kAnnotationMarker) - 1);
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------
+// Token rules.
+// ---------------------------------------------------------------
+
+struct TokenRule
+{
+    const char *id;
+    std::regex pattern;
+    const char *message;
+    bool skipIncludeLines;
+};
+
+const std::vector<TokenRule> &
+tokenRules()
+{
+    static const std::vector<TokenRule> rules = [] {
+        std::vector<TokenRule> r;
+        r.push_back(
+            {"wall-clock",
+             std::regex(R"(\b(steady_clock|system_clock|high_resolution_clock|clock_gettime|gettimeofday|timespec_get)\b)"),
+             "wall-clock source — modeled results must not read host "
+             "time; annotate genuine host-observability sites",
+             false});
+        r.push_back(
+            {"prng",
+             std::regex(R"(\b(random_device|mt19937(_64)?|default_random_engine|minstd_rand0?|ranlux(24|48)(_base)?|knuth_b|srand|drand48|lrand48|mrand48)\b|\brand\s*\(|#\s*include\s*<random>)"),
+             "std PRNG source — derive all randomness from "
+             "support/rng.hh so runs are bit-exact",
+             false});
+        r.push_back(
+            {"unordered-iter",
+             std::regex(R"(\bunordered_(map|set|multimap|multiset)\b)"),
+             "unordered container in a modeled zone — iteration order "
+             "is nondeterministic; use a sorted container or annotate "
+             "the lookup-only use",
+             true});
+        r.push_back(
+            {"thread-primitive",
+             std::regex(R"(\bstd\s*::\s*(thread|jthread|this_thread|atomic\w*|mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|condition_variable(_any)?|lock_guard|unique_lock|shared_lock|scoped_lock|future|shared_future|promise|async|counting_semaphore|binary_semaphore|barrier|latch|stop_token|call_once|once_flag)\b|\bthread\s*::\s*id\b|#\s*include\s*<(thread|atomic|mutex|shared_mutex|condition_variable|future|semaphore|barrier|latch|stop_token)>)"),
+             "threading primitive in a modeled zone — host "
+             "parallelism lives in core/parallel/; units exchange "
+             "state only via per-unit deltas merged in unit order",
+             false});
+        r.push_back(
+            {"fabric-mutation",
+             std::regex(R"(\b(recordTransfer|setByteCap)\s*\(|\bfabric_?\s*(\.|->)\s*reset\s*\()"),
+             "direct fabric ledger mutation — route transfers through "
+             "Fabric::apply or CirculantScheduler::issue",
+             false});
+        return r;
+    }();
+    return rules;
+}
+
+bool
+ruleAppliesTo(const std::string &rule, const std::string &path)
+{
+    if (rule == "unordered-iter")
+        return isModeledZone(path);
+    if (rule == "thread-primitive")
+        return isModeledZone(path) && !isParallelRuntime(path);
+    if (rule == "fabric-mutation")
+        return isModeledZone(path) && !isFabricImpl(path);
+    return true; // wall-clock, prng: every scanned file
+}
+
+bool
+isIncludeLine(const std::string &code)
+{
+    const std::string t = trimCopy(code);
+    return t.rfind("#include", 0) == 0
+        || (t.rfind("#", 0) == 0
+            && trimCopy(t.substr(1)).rfind("include", 0) == 0);
+}
+
+// ---------------------------------------------------------------
+// JSON helpers.
+// ---------------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const char *
+suppressionName(SuppressionKind kind)
+{
+    switch (kind) {
+    case SuppressionKind::None:
+        return "none";
+    case SuppressionKind::Annotation:
+        return "annotation";
+    case SuppressionKind::Allowlist:
+        return "allowlist";
+    }
+    return "none";
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------
+
+const std::vector<RuleInfo> &
+rules()
+{
+    return ruleTable();
+}
+
+bool
+isRuleId(const std::string &id)
+{
+    for (const RuleInfo &r : ruleTable())
+        if (r.id == id)
+            return true;
+    return false;
+}
+
+std::size_t
+Report::violations() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [](const Finding &f) { return f.live(); }));
+}
+
+std::size_t
+Report::suppressed() const
+{
+    return findings.size() - violations();
+}
+
+bool
+Report::passes(bool strict) const
+{
+    if (violations() > 0 || !errors.empty())
+        return false;
+    if (strict && !stale.empty())
+        return false;
+    return true;
+}
+
+std::vector<AllowlistEntry>
+parseAllowlist(const std::string &content, const std::string &file,
+               std::vector<std::string> &errors)
+{
+    std::vector<AllowlistEntry> entries;
+    std::istringstream in(content);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::string t = trimCopy(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        std::istringstream fields(t);
+        AllowlistEntry e;
+        fields >> e.path >> e.rule;
+        std::getline(fields, e.reason);
+        e.reason = trimCopy(e.reason);
+        e.line = line_no;
+        std::ostringstream where;
+        where << file << ":" << line_no;
+        if (e.path.empty() || e.rule.empty()) {
+            errors.push_back(where.str()
+                             + ": allowlist line needs `<path> <rule> "
+                               "<reason>`");
+            continue;
+        }
+        if (!isRuleId(e.rule)) {
+            errors.push_back(where.str() + ": allowlist names unknown "
+                                           "rule `" + e.rule + "`");
+            continue;
+        }
+        if (e.reason.empty()) {
+            errors.push_back(where.str() + ": allowlist entry for "
+                             + e.path + " is missing its written "
+                                        "reason");
+            continue;
+        }
+        e.path = normalizePath(e.path);
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+namespace
+{
+
+/** Whether allowlist @p entry covers @p path (anchored suffix). */
+bool
+allowlistCovers(const AllowlistEntry &entry, const std::string &path)
+{
+    if (path == entry.path)
+        return true;
+    return endsWith(path, "/" + entry.path);
+}
+
+} // namespace
+
+void
+analyzeSource(const std::string &raw_path, const std::string &content,
+              std::vector<AllowlistEntry> *allowlist, Report &out)
+{
+    const std::string path = normalizePath(raw_path);
+    ++out.filesScanned;
+
+    std::vector<std::string> lines;
+    {
+        std::istringstream in(content);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+
+    // Pass 1: sanitize (comments/strings blanked) and collect
+    // annotations keyed by the line they shield: their own line if
+    // it carries code, otherwise the next line.
+    std::vector<std::string> code(lines.size());
+    std::map<int, std::vector<Annotation>> shields;
+    bool in_block = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        code[i] = sanitizeLine(lines[i], in_block);
+        auto annotations = parseAnnotations(
+            path, static_cast<int>(i + 1), lines[i], out.errors);
+        if (annotations.empty())
+            continue;
+        const int target = isBlank(code[i]) ? static_cast<int>(i + 2)
+                                            : static_cast<int>(i + 1);
+        auto &bucket = shields[target];
+        bucket.insert(bucket.end(), annotations.begin(),
+                      annotations.end());
+    }
+
+    std::vector<Finding> found;
+    const auto emit = [&](int line_no, const std::string &rule,
+                          const std::string &message) {
+        Finding f;
+        f.file = path;
+        f.line = line_no;
+        f.rule = rule;
+        f.message = message;
+        f.snippet = line_no >= 1
+                && line_no <= static_cast<int>(lines.size())
+            ? trimCopy(lines[static_cast<std::size_t>(line_no - 1)])
+            : std::string();
+        found.push_back(std::move(f));
+    };
+
+    // Header hygiene.
+    if (isHeaderPath(path)) {
+        int first_code = 0;
+        for (std::size_t i = 0; i < code.size(); ++i) {
+            if (!isBlank(code[i])) {
+                first_code = static_cast<int>(i + 1);
+                break;
+            }
+        }
+        const std::string opening = first_code == 0
+            ? std::string()
+            : trimCopy(code[static_cast<std::size_t>(first_code - 1)]);
+        const bool guarded = opening.rfind("#pragma once", 0) == 0
+            || opening.rfind("#ifndef", 0) == 0;
+        if (!guarded)
+            emit(first_code == 0 ? 1 : first_code, "header-guard",
+                 "header must open with #pragma once or an #ifndef "
+                 "include guard");
+        static const std::regex using_ns(R"(\busing\s+namespace\b)");
+        for (std::size_t i = 0; i < code.size(); ++i)
+            if (std::regex_search(code[i], using_ns))
+                emit(static_cast<int>(i + 1), "using-namespace-header",
+                     "`using namespace` in a header leaks into every "
+                     "includer");
+    }
+
+    // Token rules.
+    for (const TokenRule &rule : tokenRules()) {
+        if (!ruleAppliesTo(rule.id, path))
+            continue;
+        for (std::size_t i = 0; i < code.size(); ++i) {
+            if (code[i].empty())
+                continue;
+            if (rule.skipIncludeLines && isIncludeLine(code[i]))
+                continue;
+            if (std::regex_search(code[i], rule.pattern))
+                emit(static_cast<int>(i + 1), rule.id, rule.message);
+        }
+    }
+
+    // Suppression: per-line annotation first, then the allowlist.
+    for (Finding &f : found) {
+        bool done = false;
+        const auto it = shields.find(f.line);
+        if (it != shields.end()) {
+            for (Annotation &a : it->second) {
+                if (a.rule == f.rule) {
+                    f.suppression = SuppressionKind::Annotation;
+                    f.reason = a.reason;
+                    a.used = true;
+                    done = true;
+                    break;
+                }
+            }
+        }
+        if (!done && allowlist != nullptr) {
+            for (AllowlistEntry &e : *allowlist) {
+                if (e.rule == f.rule && allowlistCovers(e, f.file)) {
+                    f.suppression = SuppressionKind::Allowlist;
+                    f.reason = e.reason;
+                    e.used = true;
+                    break;
+                }
+            }
+        }
+        out.findings.push_back(std::move(f));
+    }
+
+    // Annotations that shielded nothing are stale (they either
+    // outlived their finding or target the wrong line).
+    for (const auto &[target, bucket] : shields) {
+        (void)target;
+        for (const Annotation &a : bucket) {
+            if (a.used)
+                continue;
+            StaleSuppression s;
+            s.file = path;
+            s.line = a.sourceLine;
+            s.rule = a.rule;
+            s.detail = "allow(" + a.rule
+                + ") annotation suppresses nothing";
+            out.stale.push_back(std::move(s));
+        }
+    }
+}
+
+Report
+analyzePaths(const std::vector<std::string> &paths,
+             std::vector<AllowlistEntry> allowlist,
+             const std::string &allowlist_file)
+{
+    namespace fs = std::filesystem;
+    Report report;
+
+    std::vector<std::string> files;
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (fs::recursive_directory_iterator it(p, ec), end;
+                 it != end; it.increment(ec)) {
+                if (ec)
+                    break;
+                if (!it->is_regular_file())
+                    continue;
+                const std::string f =
+                    normalizePath(it->path().generic_string());
+                if (isSourcePath(f))
+                    files.push_back(f);
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(normalizePath(p));
+        } else {
+            report.errors.push_back("cannot open path: " + p);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    for (const std::string &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            report.errors.push_back("cannot read file: " + file);
+            continue;
+        }
+        std::ostringstream content;
+        content << in.rdbuf();
+        analyzeSource(file, content.str(), &allowlist, report);
+    }
+
+    for (const AllowlistEntry &e : allowlist) {
+        if (e.used)
+            continue;
+        StaleSuppression s;
+        s.file = allowlist_file.empty() ? "<allowlist>" : allowlist_file;
+        s.line = e.line;
+        s.rule = e.rule;
+        s.detail = "allowlist entry `" + e.path + " " + e.rule
+            + "` matches no finding";
+        report.stale.push_back(std::move(s));
+    }
+
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return report;
+}
+
+std::string
+toJson(const Report &report, bool strict)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"tool\": \"khuzdul_lint\",\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"strict\": " << (strict ? "true" : "false") << ",\n";
+    out << "  \"files_scanned\": " << report.filesScanned << ",\n";
+    out << "  \"violations\": " << report.violations() << ",\n";
+    out << "  \"suppressed\": " << report.suppressed() << ",\n";
+    out << "  \"passed\": " << (report.passes(strict) ? "true" : "false")
+        << ",\n";
+    out << "  \"findings\": [";
+    for (std::size_t i = 0; i < report.findings.size(); ++i) {
+        const Finding &f = report.findings[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    {\"file\": \"" << jsonEscape(f.file)
+            << "\", \"line\": " << f.line << ", \"rule\": \""
+            << jsonEscape(f.rule) << "\", \"message\": \""
+            << jsonEscape(f.message) << "\", \"snippet\": \""
+            << jsonEscape(f.snippet) << "\", \"suppression\": \""
+            << suppressionName(f.suppression) << "\", \"reason\": \""
+            << jsonEscape(f.reason) << "\"}";
+    }
+    out << (report.findings.empty() ? "]" : "\n  ]") << ",\n";
+    out << "  \"stale_suppressions\": [";
+    for (std::size_t i = 0; i < report.stale.size(); ++i) {
+        const StaleSuppression &s = report.stale[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    {\"file\": \"" << jsonEscape(s.file)
+            << "\", \"line\": " << s.line << ", \"rule\": \""
+            << jsonEscape(s.rule) << "\", \"detail\": \""
+            << jsonEscape(s.detail) << "\"}";
+    }
+    out << (report.stale.empty() ? "]" : "\n  ]") << ",\n";
+    out << "  \"errors\": [";
+    for (std::size_t i = 0; i < report.errors.size(); ++i) {
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    \"" << jsonEscape(report.errors[i]) << "\"";
+    }
+    out << (report.errors.empty() ? "]" : "\n  ]") << "\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+toText(const Report &report, bool strict)
+{
+    std::ostringstream out;
+    for (const Finding &f : report.findings) {
+        if (!f.live())
+            continue;
+        out << f.file << ":" << f.line << ": [" << f.rule << "] "
+            << f.message << "\n";
+        if (!f.snippet.empty())
+            out << "    " << f.snippet << "\n";
+    }
+    for (const std::string &e : report.errors)
+        out << "error: " << e << "\n";
+    if (strict) {
+        for (const StaleSuppression &s : report.stale)
+            out << s.file << ":" << s.line << ": [stale] " << s.detail
+                << "\n";
+    }
+    out << "khuzdul_lint: " << report.filesScanned << " files, "
+        << report.violations() << " violation(s), "
+        << report.suppressed() << " suppressed";
+    if (strict)
+        out << ", " << report.stale.size() << " stale suppression(s)";
+    out << " — " << (report.passes(strict) ? "PASS" : "FAIL") << "\n";
+    return out.str();
+}
+
+} // namespace lint
+} // namespace khuzdul

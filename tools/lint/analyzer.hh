@@ -1,0 +1,157 @@
+/**
+ * @file
+ * khuzdul_lint — a token/line-level static analyzer that enforces
+ * the determinism contract (DESIGN.md §8): modeled results are a
+ * pure function of the config, never of wall-clock time, PRNG
+ * state, hash-table iteration order, thread interleaving or ad-hoc
+ * fabric ledger mutation.  The scanner is deliberately source-level
+ * (no libclang): every rule is a token pattern plus a path scope,
+ * so the tool builds everywhere the engine builds and runs in
+ * milliseconds as an ordinary ctest.
+ *
+ * Suppression has two layers, both requiring a written reason:
+ *   - per-line annotations:  // khuzdul-lint: allow(<rule>) <reason>
+ *     (on the flagged line, or alone on the line above it)
+ *   - a checked-in allowlist file granting one (path, rule) pair
+ *     per line for whole-file exemptions such as the host-only
+ *     stopwatch in src/support/timer.hh.
+ * Strict mode additionally fails on *stale* suppressions — an
+ * allowlist entry or annotation that no longer matches a finding —
+ * so the exemption set can only shrink by itself, never rot.
+ */
+
+#ifndef KHUZDUL_TOOLS_LINT_ANALYZER_HH
+#define KHUZDUL_TOOLS_LINT_ANALYZER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace khuzdul
+{
+namespace lint
+{
+
+/** Where a rule applies. */
+enum class RuleScope
+{
+    AllSources,    ///< every scanned file
+    HeadersOnly,   ///< every scanned .hh/.hpp/.h
+    ModeledZones,  ///< src/core/, src/sim/, src/engines/
+};
+
+/** One entry of the rules table (`khuzdul_lint --rules`). */
+struct RuleInfo
+{
+    std::string id;      ///< annotation grammar name, e.g. "wall-clock"
+    RuleScope scope;
+    std::string summary; ///< one-line contract statement
+};
+
+/** The full rules table, in reporting order. */
+const std::vector<RuleInfo> &rules();
+
+/** Whether @p id names a rule in the table. */
+bool isRuleId(const std::string &id);
+
+/** How a finding was suppressed. */
+enum class SuppressionKind
+{
+    None,       ///< live violation
+    Annotation, ///< per-line // khuzdul-lint: allow(...)
+    Allowlist,  ///< matched an allowlist entry
+};
+
+/** One rule hit (live or suppressed). */
+struct Finding
+{
+    std::string file;    ///< normalized path as scanned
+    int line = 0;        ///< 1-based
+    std::string rule;
+    std::string message;
+    std::string snippet; ///< trimmed source line
+    SuppressionKind suppression = SuppressionKind::None;
+    std::string reason;  ///< the written justification, if suppressed
+
+    bool
+    live() const
+    {
+        return suppression == SuppressionKind::None;
+    }
+};
+
+/** One line of tools/lint_allowlist.txt: `<path> <rule> <reason>`. */
+struct AllowlistEntry
+{
+    std::string path;   ///< matched as a /-anchored path suffix
+    std::string rule;
+    std::string reason;
+    int line = 0;       ///< line in the allowlist file
+    bool used = false;  ///< matched at least one finding this run
+};
+
+/** A suppression that suppressed nothing (strict-mode failure). */
+struct StaleSuppression
+{
+    std::string file;  ///< source file, or the allowlist file itself
+    int line = 0;
+    std::string rule;
+    std::string detail;
+};
+
+/** Aggregated result of one lint run. */
+struct Report
+{
+    std::vector<Finding> findings;          ///< sorted (file, line, rule)
+    std::vector<StaleSuppression> stale;    ///< unused suppressions
+    std::vector<std::string> errors;        ///< grammar/IO/parse errors
+    std::size_t filesScanned = 0;
+
+    /** Findings not suppressed — always failures. */
+    std::size_t violations() const;
+
+    /** Suppressed findings (annotation or allowlist). */
+    std::size_t suppressed() const;
+
+    /** Exit-status predicate: strict also fails on stale/errors. */
+    bool passes(bool strict) const;
+};
+
+/**
+ * Parse an allowlist file's contents.  Lines are
+ * `<path> <rule-id> <reason...>`; blank lines and `#` comments are
+ * skipped.  Malformed lines append to @p errors.
+ */
+std::vector<AllowlistEntry> parseAllowlist(const std::string &content,
+                                           const std::string &file,
+                                           std::vector<std::string> &errors);
+
+/**
+ * Scan one in-memory source (the testing seam — fixtures feed
+ * snippets through this without touching the filesystem).
+ * @p path decides zone scoping and allowlist matching; findings,
+ * stale annotations and grammar errors accumulate into @p out;
+ * matching entries of @p allowlist get their used flag set.
+ */
+void analyzeSource(const std::string &path, const std::string &content,
+                   std::vector<AllowlistEntry> *allowlist, Report &out);
+
+/**
+ * Scan files and directory trees (recursing into .cc/.hh sources
+ * and friends), apply @p allowlist, and flag its unused entries as
+ * stale.  Findings are sorted for deterministic output.
+ */
+Report analyzePaths(const std::vector<std::string> &paths,
+                    std::vector<AllowlistEntry> allowlist,
+                    const std::string &allowlist_file);
+
+/** Machine-readable report (the --json output, schema version 1). */
+std::string toJson(const Report &report, bool strict);
+
+/** Human-readable report lines (one per finding/stale/error). */
+std::string toText(const Report &report, bool strict);
+
+} // namespace lint
+} // namespace khuzdul
+
+#endif // KHUZDUL_TOOLS_LINT_ANALYZER_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * khuzdul_lint CLI.  `khuzdul_lint --strict --allowlist
+ * tools/lint_allowlist.txt src` is the invocation ctest and CI run;
+ * see DESIGN.md §8 for the contract the rules enforce.
+ *
+ * Exit status: 0 clean, 1 contract violations (or, under --strict,
+ * stale suppressions), 2 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/analyzer.hh"
+
+namespace
+{
+
+void
+printUsage(std::ostream &out)
+{
+    out << "usage: khuzdul_lint [options] <path>...\n"
+           "\n"
+           "Static determinism-contract analyzer for the khuzdul\n"
+           "modeled zones (DESIGN.md section 8).\n"
+           "\n"
+           "options:\n"
+           "  --allowlist <file>  load whole-file suppressions\n"
+           "  --strict            fail on stale suppressions too\n"
+           "  --json              machine-readable report on stdout\n"
+           "  --rules             print the rules table and exit\n"
+           "  --help              this text\n";
+}
+
+void
+printRules()
+{
+    std::cout << "rule                     scope     contract\n";
+    std::cout << "----                     -----     --------\n";
+    for (const khuzdul::lint::RuleInfo &r : khuzdul::lint::rules()) {
+        const char *scope = "src";
+        if (r.scope == khuzdul::lint::RuleScope::ModeledZones)
+            scope = "modeled";
+        else if (r.scope == khuzdul::lint::RuleScope::HeadersOnly)
+            scope = "headers";
+        std::printf("%-24s %-9s %s\n", r.id.c_str(), scope,
+                    r.summary.c_str());
+    }
+    std::cout << "\nsuppress one line:  // khuzdul-lint: allow(<rule>) "
+                 "<reason>\n";
+    std::cout << "suppress one file:  `<path> <rule> <reason>` in the "
+                 "allowlist\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool strict = false;
+    bool json = false;
+    std::string allowlist_file;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--strict") {
+            strict = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--rules") {
+            printRules();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        } else if (arg == "--allowlist") {
+            if (i + 1 >= argc) {
+                std::cerr << "khuzdul_lint: --allowlist needs a file\n";
+                return 2;
+            }
+            allowlist_file = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "khuzdul_lint: unknown option " << arg << "\n";
+            printUsage(std::cerr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        printUsage(std::cerr);
+        return 2;
+    }
+
+    std::vector<khuzdul::lint::AllowlistEntry> allowlist;
+    std::vector<std::string> allowlist_errors;
+    if (!allowlist_file.empty()) {
+        std::ifstream in(allowlist_file, std::ios::binary);
+        if (!in) {
+            std::cerr << "khuzdul_lint: cannot read allowlist "
+                      << allowlist_file << "\n";
+            return 2;
+        }
+        std::ostringstream content;
+        content << in.rdbuf();
+        allowlist = khuzdul::lint::parseAllowlist(
+            content.str(), allowlist_file, allowlist_errors);
+    }
+
+    khuzdul::lint::Report report = khuzdul::lint::analyzePaths(
+        paths, std::move(allowlist), allowlist_file);
+    report.errors.insert(report.errors.begin(),
+                         allowlist_errors.begin(),
+                         allowlist_errors.end());
+
+    if (json)
+        std::cout << khuzdul::lint::toJson(report, strict);
+    else
+        std::cout << khuzdul::lint::toText(report, strict);
+
+    return report.passes(strict) ? 0 : 1;
+}
