@@ -31,11 +31,13 @@ CirculantScheduler::noteRemote(std::uint32_t idx, unsigned owner,
     batches_[slot].lists += 1;
 }
 
-void
+bool
 CirculantScheduler::issue(sim::TransferRecorder &recorder,
                           sim::NodeStats &stats,
                           std::span<std::uint64_t> sent_bytes,
-                          sim::TraceSink &trace, int level)
+                          sim::TraceSink &trace, int level,
+                          sim::FaultSession *faults,
+                          const sim::CostModel *cost)
 {
     for (unsigned slot = 1; slot < numUnits_; ++slot) {
         Batch &batch = batches_[slot];
@@ -43,32 +45,82 @@ CirculantScheduler::issue(sim::TransferRecorder &recorder,
             continue;
         const unsigned owner = ownerOf(slot);
         const NodeId dst = owner / unitsPerNode_;
-        trace.emit({sim::PhaseEvent::FetchBatchIssued, unit_, level,
-                    batch.bytes, batch.lists});
-        // khuzdul-lint: allow(fabric-mutation) CirculantScheduler::issue IS the sanctioned transfer entry point
-        batch.commNs = recorder.recordTransfer(node_, dst, batch.bytes,
-                                               batch.lists);
-        trace.emit({sim::PhaseEvent::FetchBatchCompleted, unit_, level,
-                    batch.bytes, batch.lists});
-        if (dst != node_) {
-            stats.bytesReceived += batch.bytes;
-            ++stats.messagesSent;
-            stats.listsFetchedRemote += batch.lists;
-            // Attribute send-side bytes to the owner unit.
-            sent_bytes[owner] += batch.bytes;
+        const bool cross = dst != node_;
+        unsigned attempt = 0;
+        bool faulted_once = false;
+        for (;;) {
+            trace.emit({sim::PhaseEvent::FetchBatchIssued, unit_,
+                        level, batch.bytes, batch.lists});
+            // khuzdul-lint: allow(fabric-mutation) CirculantScheduler::issue IS the sanctioned transfer entry point
+            const double base = recorder.recordTransfer(
+                node_, dst, batch.bytes, batch.lists);
+            if (cross) {
+                // Every attempt moves bytes on the wire, so every
+                // attempt is attributed — the traffic ledger, the
+                // per-node volume counters and the journal must
+                // agree whether the batch survived or not.
+                stats.bytesReceived += batch.bytes;
+                ++stats.messagesSent;
+                sent_bytes[owner] += batch.bytes;
+            }
+            sim::FaultOutcome outcome;
+            outcome.chargeNs = base;
+            if (faults && cross)
+                outcome = faults->onTransfer(node_, dst, base,
+                                             cost->timeoutNs);
+            if (!outcome.faulted) {
+                batch.commNs += outcome.chargeNs;
+                if (outcome.degraded)
+                    stats.recoveryNs += outcome.chargeNs - base;
+                if (cross)
+                    stats.listsFetchedRemote += batch.lists;
+                trace.emit({sim::PhaseEvent::FetchBatchCompleted,
+                            unit_, level, batch.bytes, batch.lists});
+                if (faulted_once) {
+                    ++stats.faultsRecovered;
+                    trace.emit({sim::PhaseEvent::FetchRecovered,
+                                unit_, level, batch.bytes, attempt});
+                }
+                break;
+            }
+            // The attempt failed: charge its cost, then either give
+            // the chunk back to the caller for a replay or back off
+            // (modeled, exponential) and retry.
+            faulted_once = true;
+            ++stats.faultsInjected;
+            batch.commNs += outcome.chargeNs;
+            stats.recoveryNs += outcome.chargeNs;
+            trace.emit({sim::PhaseEvent::FaultInjected, unit_, level,
+                        batch.bytes,
+                        static_cast<std::uint64_t>(outcome.kind)});
+            if (attempt >= faults->maxRetries())
+                return false;
+            ++attempt;
+            ++stats.faultsRetried;
+            const double backoff = cost->retryBackoffNs
+                * static_cast<double>(1ull << (attempt - 1));
+            batch.commNs += backoff;
+            stats.recoveryNs += backoff;
+            faults->advance(backoff);
+            trace.emit({sim::PhaseEvent::FetchRetry, unit_, level,
+                        attempt,
+                        static_cast<std::uint64_t>(outcome.kind)});
         }
     }
+    return true;
 }
 
-void
+bool
 CirculantScheduler::issue(sim::Fabric &fabric, sim::RunStats &run,
                           sim::TraceSink &trace, int level)
 {
     std::vector<std::uint64_t> sent(numUnits_, 0);
-    issue(static_cast<sim::TransferRecorder &>(fabric),
-          run.nodes[unit_], sent, trace, level);
+    const bool ok =
+        issue(static_cast<sim::TransferRecorder &>(fabric),
+              run.nodes[unit_], sent, trace, level);
     for (unsigned owner = 0; owner < numUnits_; ++owner)
         run.nodes[owner].bytesSent += sent[owner];
+    return ok;
 }
 
 CirculantScheduler::Timeline

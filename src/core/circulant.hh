@@ -21,7 +21,9 @@
 #include <span>
 #include <vector>
 
+#include "sim/cost_model.hh"
 #include "sim/fabric.hh"
+#include "sim/faults.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "support/types.hh"
@@ -97,14 +99,30 @@ class CirculantScheduler
      * fabric and whole-run stats keeps issue() writable from one
      * execution unit without touching another unit's state — the
      * contract the host-parallel runtime (§6) relies on.
+     *
+     * When @p faults is non-null (engine runs with a fault plan;
+     * @p cost must then be non-null too), every cross-node batch is
+     * a retry loop: a faulted attempt is charged (drop = the wasted
+     * transfer, timeout/node-down = the timeout cost), backed off
+     * exponentially (modeled, charged into the batch), and
+     * re-attempted up to FaultPlan::maxRetries times.  Every attempt
+     * is journalled through @p recorder, so the merged ledger prices
+     * the failures in unit order, exactly like the byte cap.
+     *
+     * @return false when a batch exhausted its retry budget — the
+     *         caller must replay the chunk (§9); already-charged
+     *         attempt time stays in the batch ledgers for the
+     *         caller to fold as wasted communication.
      */
-    void issue(sim::TransferRecorder &recorder, sim::NodeStats &stats,
+    bool issue(sim::TransferRecorder &recorder, sim::NodeStats &stats,
                std::span<std::uint64_t> sent_bytes,
-               sim::TraceSink &trace, int level);
+               sim::TraceSink &trace, int level,
+               sim::FaultSession *faults = nullptr,
+               const sim::CostModel *cost = nullptr);
 
     /** Convenience overload writing straight into the fabric and
      *  @p run (requester stats + owners' bytesSent). */
-    void issue(sim::Fabric &fabric, sim::RunStats &run,
+    bool issue(sim::Fabric &fabric, sim::RunStats &run,
                sim::TraceSink &trace, int level);
 
     /** Attribute @p work_ns of extension work to @p idx's batch. */

@@ -31,6 +31,10 @@ namespace core
 class HybridExplorer
 {
   public:
+    /** Replays of one chunk before declaring the plan unrecoverable
+     *  (finite triggers and bounded windows converge far earlier). */
+    static constexpr unsigned kMaxChunkReplays = 64;
+
     HybridExplorer(Engine &engine, unsigned unit,
                    const ExtendPlan &plan, MatchVisitor *visitor,
                    sim::NodeStats &stats,
@@ -41,6 +45,9 @@ class HybridExplorer
           visitor_(visitor), unit_(unit), stats_(stats),
           recorder_(recorder), sentBytes_(sent_bytes), sink_(sink),
           provider_(*engine.providers_[unit]),
+          faults_(engine.faultSessions_.empty()
+                      ? nullptr
+                      : engine.faultSessions_[unit].get()),
           extender_(*engine.graph_, plan, engine.config_.cost,
                     engine.config_.kernelMode),
           cores_(engine.computeCoresPerUnit())
@@ -99,8 +106,10 @@ class HybridExplorer
 
     /** Communication phase of one chunk: resolve every embedding's
      *  new edge list through the provider chain; Remote outcomes
-     *  join the circulant scheduler's per-owner batches. */
-    void
+     *  join the circulant scheduler's per-owner batches.
+     *  @return false when a batch exhausted its retry budget and
+     *  the chunk must be replayed (§9). */
+    bool
     fetchPhase(int level)
     {
         Chunk &chunk = chunks_[level];
@@ -111,7 +120,7 @@ class HybridExplorer
                 continue;
             const Resolution r = provider_.resolve(
                 unit_, chunk.vertex(idx), &tables_[level], stats_,
-                level);
+                level, faults_);
             if (r.kind == ResolutionKind::Shared) {
                 sched.noteShared(idx, r.owner);
             } else if (r.kind == ResolutionKind::Remote) {
@@ -119,7 +128,37 @@ class HybridExplorer
                 chunk.addFetchedBytes(r.bytes);
             }
         }
-        sched.issue(recorder_, stats_, sentBytes_, trace(), level);
+        return sched.issue(recorder_, stats_, sentBytes_, trace(),
+                           level, faults_, &engine_.config_.cost);
+    }
+
+    /** Run the communication phase until it succeeds, replaying the
+     *  chunk after every retry exhaustion: the wasted attempt time
+     *  of a failed phase is folded as pure communication (no work
+     *  overlapped it — extension never started), the chunk's
+     *  horizontal table is rebuilt, and the phase re-runs from
+     *  resolution.  A chunk is never dropped, so counts stay exact
+     *  under any fault plan; a defensive replay budget turns a plan
+     *  with no recovery path into a FabricFault. */
+    void
+    fetchWithReplay(int level)
+    {
+        unsigned replays = 0;
+        while (!fetchPhase(level)) {
+            const auto wasted =
+                scheds_[level].pipeline(cores_, penalty_);
+            stats_.commTotalNs += wasted.commNs;
+            stats_.commExposedNs += wasted.exposedNs;
+            ++stats_.chunksReplayed;
+            ++replays;
+            trace().emit({sim::PhaseEvent::ChunkReplayed, unit_,
+                          level, chunks_[level].size(), replays});
+            tables_[level].clear();
+            if (replays >= kMaxChunkReplays)
+                throw sim::FabricFault(
+                    "chunk replay budget exhausted: fault plan "
+                    "leaves no recovery path");
+        }
     }
 
     /** Process a filled chunk: fetch, then extend level by level
@@ -137,7 +176,7 @@ class HybridExplorer
         trace().emit({sim::PhaseEvent::ChunkOpen, unit_, level,
                       chunk.size(), chunk.modeledBytes()});
 
-        fetchPhase(level);
+        fetchWithReplay(level);
 
         stats_.schedulerNs += CirculantScheduler::dispatchOverheadNs(
             chunk.size(), engine_.config_.miniBatchSize,
@@ -209,6 +248,7 @@ class HybridExplorer
     std::span<std::uint64_t> sentBytes_;
     sim::TraceSink &sink_;
     EdgeListProvider &provider_;
+    sim::FaultSession *faults_;
     PlanExtender extender_;
     unsigned cores_;
     double penalty_ = 1.0;
@@ -252,6 +292,10 @@ Engine::Engine(const Graph &g, const EngineConfig &config)
             EdgeListProvider::engineCosts(config_.cost,
                                           *caches_.back()),
             *unitSinks_.back()));
+        if (!config_.faults.empty())
+            faultSessions_.push_back(
+                std::make_unique<sim::FaultSession>(
+                    config_.faults, partition_.numNodes()));
     }
 }
 
@@ -362,6 +406,8 @@ Engine::resetStats()
         sink->clear();
     for (auto &cache : caches_)
         cache->resetCounters();
+    for (auto &session : faultSessions_)
+        session->reset();
 }
 
 } // namespace core

@@ -44,6 +44,7 @@
 #include "sim/cluster.hh"
 #include "sim/cost_model.hh"
 #include "sim/fabric.hh"
+#include "sim/faults.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -119,6 +120,15 @@ struct EngineConfig
      * ledger and the trace stream never depend on it.
      */
     unsigned hostThreads = 0;
+
+    /**
+     * Deterministic fault schedule (§9, CLI `--fault`).  Empty =
+     * healthy fabric.  Triggers read only modeled per-unit state, so
+     * for a fixed plan the run stays bit-identical at every
+     * hostThreads value; counts stay exact under any plan because
+     * exhausted chunks are replayed, never dropped.
+     */
+    sim::FaultPlan faults;
 };
 
 /**
@@ -188,6 +198,10 @@ class Engine
     sim::TeeTraceSink tracer_{traceCounts_};
     std::vector<std::unique_ptr<DataCache>> caches_;
     std::vector<std::unique_ptr<EdgeListProvider>> providers_;
+
+    /** One deterministic fault cursor per execution unit (empty
+     *  when config_.faults is); reset alongside the ledger. */
+    std::vector<std::unique_ptr<sim::FaultSession>> faultSessions_;
 
     /** Per-unit event buffers flushed into tracer_ in unit order
      *  after each run, reproducing the sequential trace stream. */

@@ -27,6 +27,7 @@
 #include "graph/graph.hh"
 #include "graph/partition.hh"
 #include "sim/cost_model.hh"
+#include "sim/faults.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "support/types.hh"
@@ -43,6 +44,10 @@ enum class ResolutionKind : std::uint8_t
     CacheHit, ///< resident in the unit's data cache
     Shared,   ///< another embedding of the chunk fetches it (§5.2)
     Remote,   ///< must join a per-owner fetch batch
+    /** Owner node is down; the list was rebuilt from the local CSR
+     *  (every edge is stored at both endpoints, so N(v) is fully
+     *  local when all of v's neighbors are; DESIGN.md §9). */
+    Reconstructed,
 };
 
 const char *resolutionKindName(ResolutionKind kind);
@@ -76,6 +81,9 @@ class EdgeListProvider
         double cacheProbeNs = 0; ///< per cache lookup (any outcome)
         double cacheAdmitNs = 0; ///< extra charge when admission allocates
         double hashProbeNs = 0;  ///< per horizontal-table probe
+        /** Per neighbor examined while testing/doing a local CSR
+         *  reconstruction of a down owner's list (§9). */
+        double reconstructScanNs = 0;
     };
 
     /**
@@ -99,15 +107,29 @@ class EdgeListProvider
      * probe time and reuse counters to @p stats.  @p table is the
      * requester's chunk-scoped dedup table (may be null).
      * @p level annotates emitted trace events only.
+     *
+     * When @p faults is non-null and the owner's node is permanently
+     * down, the chain degrades to the recovery ladder (§9): cache →
+     * local CSR reconstruction → re-fetch from the replica owner
+     * (the owner's slot on the next node of the partition's hash
+     * chain).  Throws FabricFault if every replica node is down.
      */
     Resolution resolve(unsigned requester, VertexId v,
                        HorizontalTable *table, sim::NodeStats &stats,
-                       int level = 0);
+                       int level = 0,
+                       sim::FaultSession *faults = nullptr);
 
     const Partition &partition() const { return *partition_; }
     DataCache *cache() { return cache_; }
 
   private:
+    /** Recovery ladder below the cache rung for a permanently-down
+     *  owner: local CSR reconstruction, then replica re-fetch. */
+    Resolution resolveDownOwner(unsigned requester, VertexId v,
+                                sim::NodeStats &stats,
+                                sim::FaultSession *faults,
+                                Resolution r);
+
     const Graph *graph_;
     const Partition *partition_;
     DataCache *cache_;

@@ -75,6 +75,15 @@ struct CostModel
     double numaBytesPerNs = 12.0;
     /// @}
 
+    /** @name Fault recovery (DESIGN.md §9) */
+    /// @{
+    /** Charge for a transfer attempt that never got an answer
+     *  (timeout and node-down outcomes). */
+    double timeoutNs = 1.0e6;
+    /** Base retry backoff; attempt k waits 2^(k-1) times this. */
+    double retryBackoffNs = 1.0e5;
+    /// @}
+
     /** @name G-thinker specific overheads (§2.3, Fig 15) */
     /// @{
     /** Cache map update per requested vertex (task<->data map). */

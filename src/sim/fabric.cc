@@ -26,8 +26,10 @@ Fabric::recordTransfer(NodeId src, NodeId dst, std::uint64_t bytes,
         return cost_->numaTransferNs(bytes, lists);
     crossNodeBytes_ += bytes;
     if (byteCap_ != 0 && crossNodeBytes_ > byteCap_)
-        KHUZDUL_FATAL("fabric byte cap exceeded: " << crossNodeBytes_
-                      << " > " << byteCap_);
+        throw ByteCapExceededFault(
+            "fabric byte cap exceeded: "
+            + std::to_string(crossNodeBytes_) + " > "
+            + std::to_string(byteCap_));
     return cost_->transferNs(bytes, lists);
 }
 

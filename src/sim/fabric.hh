@@ -18,6 +18,7 @@
 
 #include "graph/partition.hh"
 #include "sim/cost_model.hh"
+#include "sim/faults.hh"
 #include "support/types.hh"
 
 namespace khuzdul
@@ -109,8 +110,8 @@ class Fabric : public TransferRecorder
     std::uint64_t totalBytes() const;
 
     /**
-     * Failure injection for tests: throw FatalError once more than
-     * @p cap bytes have crossed the network (0 disables).
+     * Failure injection for tests: throw ByteCapExceededFault once
+     * more than @p cap bytes have crossed the network (0 disables).
      */
     void setByteCap(std::uint64_t cap) { byteCap_ = cap; }
 

@@ -1,0 +1,270 @@
+#include "sim/faults.hh"
+
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace sim
+{
+namespace
+{
+
+/** Split @p s on ':' (empty segments preserved). */
+std::vector<std::string>
+splitColons(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t colon = s.find(':', start);
+        parts.push_back(s.substr(start, colon - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    return parts;
+}
+
+NodeId
+parseEndpoint(const std::string &token, const std::string &spec)
+{
+    if (token == "*")
+        return kAnyNode;
+    KHUZDUL_REQUIRE(!token.empty()
+                        && token.find_first_not_of("0123456789")
+                            == std::string::npos,
+                    "bad fault endpoint '" << token << "' in '" << spec
+                                           << "' (node id or *)");
+    return static_cast<NodeId>(std::stoul(token));
+}
+
+/** Parse the "SRC-DST" link selector of drop/timeout/degrade. */
+void
+parseLink(const std::string &token, const std::string &spec,
+          FaultSpec &out)
+{
+    const std::size_t dash = token.find('-');
+    KHUZDUL_REQUIRE(dash != std::string::npos,
+                    "fault spec '" << spec
+                                   << "' needs a SRC-DST link selector");
+    out.src = parseEndpoint(token.substr(0, dash), spec);
+    out.dst = parseEndpoint(token.substr(dash + 1), spec);
+}
+
+double
+parseNumber(const std::string &value, const std::string &spec)
+{
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        KHUZDUL_REQUIRE(used == value.size(), "trailing junk");
+        return parsed;
+    } catch (const std::exception &) {
+        KHUZDUL_FATAL("bad numeric value '" << value << "' in fault"
+                      " spec '" << spec << "'");
+    }
+}
+
+/** Apply one key=value field; returns false on an unknown key. */
+bool
+applyField(const std::string &key, const std::string &value,
+           const std::string &spec, FaultSpec &out)
+{
+    if (key == "msg") {
+        out.firstMsg = static_cast<std::uint64_t>(
+            parseNumber(value, spec));
+        KHUZDUL_REQUIRE(out.firstMsg >= 1,
+                        "fault spec '" << spec
+                                       << "': msg ordinals are 1-based");
+        return true;
+    }
+    if (key == "count") {
+        out.count = static_cast<std::uint64_t>(
+            parseNumber(value, spec));
+        return true;
+    }
+    if (key == "factor") {
+        out.factor = parseNumber(value, spec);
+        return true;
+    }
+    if (key == "from") {
+        out.fromNs = parseNumber(value, spec);
+        return true;
+    }
+    if (key == "until") {
+        out.untilNs = parseNumber(value, spec);
+        return true;
+    }
+    if (key == "node") {
+        out.node = parseEndpoint(value, spec);
+        return true;
+    }
+    return false;
+}
+
+bool
+matchesLink(const FaultSpec &f, NodeId src, NodeId dst)
+{
+    return (f.src == kAnyNode || f.src == src)
+        && (f.dst == kAnyNode || f.dst == dst);
+}
+
+bool
+inWindow(const FaultSpec &f, double now_ns)
+{
+    return now_ns >= f.fromNs
+        && (f.untilNs == kForeverNs || now_ns < f.untilNs);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Drop:
+        return "drop";
+      case FaultKind::Timeout:
+        return "timeout";
+      case FaultKind::Degrade:
+        return "degrade";
+      case FaultKind::NodeDown:
+        return "down";
+    }
+    KHUZDUL_PANIC("unreachable fault kind");
+}
+
+void
+FaultPlan::add(const std::string &spec)
+{
+    const std::vector<std::string> parts = splitColons(spec);
+    FaultSpec f;
+    std::size_t next = 1;
+    const std::string &kind = parts[0];
+    if (kind == "drop" || kind == "timeout") {
+        f.kind = kind == "drop" ? FaultKind::Drop : FaultKind::Timeout;
+        KHUZDUL_REQUIRE(parts.size() >= 3,
+                        "fault spec '" << spec << "' needs "
+                        << kind << ":SRC-DST:msg=N[:count=K]");
+        parseLink(parts[next++], spec, f);
+    } else if (kind == "degrade") {
+        f.kind = FaultKind::Degrade;
+        KHUZDUL_REQUIRE(parts.size() >= 3,
+                        "fault spec '" << spec << "' needs "
+                        "degrade:SRC-DST:factor=F[:from=NS][:until=NS]");
+        parseLink(parts[next++], spec, f);
+    } else if (kind == "down") {
+        f.kind = FaultKind::NodeDown;
+        KHUZDUL_REQUIRE(parts.size() >= 2,
+                        "fault spec '" << spec << "' needs "
+                        "down:node=D[:from=NS][:until=NS]");
+    } else {
+        KHUZDUL_FATAL("unknown fault kind '" << kind << "' in '"
+                      << spec
+                      << "' (drop | timeout | degrade | down)");
+    }
+    bool saw_msg = false;
+    for (; next < parts.size(); ++next) {
+        const std::string &field = parts[next];
+        const std::size_t eq = field.find('=');
+        KHUZDUL_REQUIRE(eq != std::string::npos,
+                        "fault spec '" << spec << "': field '" << field
+                                       << "' is not key=value");
+        const std::string key = field.substr(0, eq);
+        KHUZDUL_REQUIRE(
+            applyField(key, field.substr(eq + 1), spec, f),
+            "fault spec '" << spec << "': unknown field '" << key
+                           << "'");
+        saw_msg = saw_msg || key == "msg";
+    }
+    if (f.kind == FaultKind::Drop || f.kind == FaultKind::Timeout)
+        KHUZDUL_REQUIRE(saw_msg, "fault spec '" << spec
+                        << "' needs a msg=N trigger");
+    if (f.kind == FaultKind::Degrade)
+        KHUZDUL_REQUIRE(f.factor >= 1.0, "fault spec '" << spec
+                        << "': factor must be >= 1");
+    if (f.kind == FaultKind::NodeDown)
+        KHUZDUL_REQUIRE(f.node != kAnyNode, "fault spec '" << spec
+                        << "' needs node=D");
+    specs_.push_back(f);
+}
+
+FaultSession::FaultSession(const FaultPlan &plan, NodeId num_nodes)
+    : plan_(&plan), numNodes_(num_nodes)
+{
+    linkMsgs_.assign(
+        static_cast<std::size_t>(num_nodes) * num_nodes, 0);
+}
+
+bool
+FaultSession::nodeDownNow(NodeId node) const
+{
+    for (const FaultSpec &f : plan_->specs())
+        if (f.kind == FaultKind::NodeDown && f.node == node
+            && inWindow(f, clockNs_))
+            return true;
+    return false;
+}
+
+bool
+FaultSession::nodePermanentlyDown(NodeId node) const
+{
+    for (const FaultSpec &f : plan_->specs())
+        if (f.kind == FaultKind::NodeDown && f.node == node
+            && f.untilNs == kForeverNs && clockNs_ >= f.fromNs)
+            return true;
+    return false;
+}
+
+FaultOutcome
+FaultSession::onTransfer(NodeId src, NodeId dst, double base_ns,
+                         double timeout_ns)
+{
+    const std::size_t link =
+        static_cast<std::size_t>(src) * numNodes_ + dst;
+    const std::uint64_t ordinal = ++linkMsgs_[link];
+
+    FaultOutcome out;
+    out.chargeNs = base_ns;
+    // The destination being down dominates any per-message fault:
+    // nothing answers, so the requester burns the timeout.
+    if (nodeDownNow(dst)) {
+        out.faulted = true;
+        out.kind = FaultKind::NodeDown;
+        out.chargeNs = timeout_ns;
+    }
+    for (const FaultSpec &f : plan_->specs()) {
+        if (out.faulted)
+            break;
+        if (!matchesLink(f, src, dst))
+            continue;
+        if ((f.kind == FaultKind::Drop
+             || f.kind == FaultKind::Timeout)
+            && ordinal >= f.firstMsg
+            && ordinal < f.firstMsg + f.count) {
+            out.faulted = true;
+            out.kind = f.kind;
+            // A dropped batch still crossed the wire before it was
+            // lost; a timeout burns the configured wait instead.
+            out.chargeNs =
+                f.kind == FaultKind::Drop ? base_ns : timeout_ns;
+        } else if (f.kind == FaultKind::Degrade
+                   && inWindow(f, clockNs_)) {
+            out.degraded = true;
+            out.kind = FaultKind::Degrade;
+            out.chargeNs = base_ns * f.factor;
+        }
+    }
+    clockNs_ += out.chargeNs;
+    return out;
+}
+
+void
+FaultSession::reset()
+{
+    linkMsgs_.assign(linkMsgs_.size(), 0);
+    clockNs_ = 0;
+}
+
+} // namespace sim
+} // namespace khuzdul

@@ -91,6 +91,42 @@ RunStats::totalEmbeddings() const
     return total;
 }
 
+std::uint64_t
+RunStats::totalFaultsInjected() const
+{
+    std::uint64_t total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.faultsInjected;
+    return total;
+}
+
+std::uint64_t
+RunStats::totalFaultsRecovered() const
+{
+    std::uint64_t total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.faultsRecovered;
+    return total;
+}
+
+std::uint64_t
+RunStats::totalChunksReplayed() const
+{
+    std::uint64_t total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.chunksReplayed;
+    return total;
+}
+
+double
+RunStats::totalRecoveryNs() const
+{
+    double total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.recoveryNs;
+    return total;
+}
+
 double
 RunStats::staticCacheHitRate() const
 {
@@ -141,6 +177,13 @@ RunStats::accumulate(const RunStats &other)
         dst.messagesSent += src.messagesSent;
         dst.listsFetchedRemote += src.listsFetchedRemote;
         dst.listsServedLocal += src.listsServedLocal;
+        dst.faultsInjected += src.faultsInjected;
+        dst.faultsRetried += src.faultsRetried;
+        dst.faultsRecovered += src.faultsRecovered;
+        dst.chunksReplayed += src.chunksReplayed;
+        dst.reroutedFetches += src.reroutedFetches;
+        dst.reconstructedLists += src.reconstructedLists;
+        dst.recoveryNs += src.recoveryNs;
         dst.staticCacheHits += src.staticCacheHits;
         dst.staticCacheMisses += src.staticCacheMisses;
         dst.staticCacheInsertions += src.staticCacheInsertions;
@@ -191,6 +234,21 @@ RunStats::toJson(bool include_host) const
         os << (k == 0 ? "" : ", ") << "\"" << kKernelNames[k]
            << "\": " << kernel_totals[k];
     os << "},\n";
+    std::uint64_t faults_retried = 0;
+    std::uint64_t faults_rerouted = 0;
+    std::uint64_t faults_reconstructed = 0;
+    for (const NodeStats &node : nodes) {
+        faults_retried += node.faultsRetried;
+        faults_rerouted += node.reroutedFetches;
+        faults_reconstructed += node.reconstructedLists;
+    }
+    os << "  \"faults\": {\"injected\": " << totalFaultsInjected()
+       << ", \"retried\": " << faults_retried
+       << ", \"recovered\": " << totalFaultsRecovered()
+       << ", \"chunks_replayed\": " << totalChunksReplayed()
+       << ", \"rerouted\": " << faults_rerouted
+       << ", \"reconstructed\": " << faults_reconstructed
+       << ", \"recovery_ns\": " << totalRecoveryNs() << "},\n";
     if (include_host && hostThreads > 0)
         os << "  \"host\": {\"threads\": " << hostThreads
            << ", \"wall_ns\": " << hostWallNs << "},\n";
@@ -219,6 +277,13 @@ RunStats::toJson(bool include_host) const
            << ", \"intersection_items\": " << n.intersectionItems
            << ", \"chunks_processed\": " << n.chunksProcessed
            << ", \"peak_chunk_bytes\": " << n.peakChunkBytes
+           << ", \"faults_injected\": " << n.faultsInjected
+           << ", \"faults_retried\": " << n.faultsRetried
+           << ", \"faults_recovered\": " << n.faultsRecovered
+           << ", \"chunks_replayed\": " << n.chunksReplayed
+           << ", \"rerouted\": " << n.reroutedFetches
+           << ", \"reconstructed\": " << n.reconstructedLists
+           << ", \"recovery_ns\": " << n.recoveryNs
            << ", \"kernel_calls\": [";
         for (std::size_t k = 0; k < n.kernelCalls.size(); ++k)
             os << (k == 0 ? "" : ", ") << n.kernelCalls[k];

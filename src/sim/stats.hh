@@ -52,6 +52,23 @@ struct NodeStats
     std::uint64_t verticalReuses = 0;
     /// @}
 
+    /** @name Fault-injection and recovery (DESIGN.md §9)
+     *
+     * recoveryNs is an attribution overlay: the modeled time spent
+     * on failed attempts, backoffs, degraded surcharges, reroute and
+     * reconstruction work.  It is already included in the comm/cache
+     * categories above, so it never contributes to totalNs() again.
+     */
+    /// @{
+    std::uint64_t faultsInjected = 0;   ///< attempts that faulted
+    std::uint64_t faultsRetried = 0;    ///< re-attempts after backoff
+    std::uint64_t faultsRecovered = 0;  ///< batches served after >=1 fault
+    std::uint64_t chunksReplayed = 0;   ///< chunks re-enqueued whole
+    std::uint64_t reroutedFetches = 0;  ///< lists routed to a replica owner
+    std::uint64_t reconstructedLists = 0; ///< lists rebuilt from local CSR
+    double recoveryNs = 0;              ///< modeled recovery overhead
+    /// @}
+
     /** @name Work counters */
     /// @{
     std::uint64_t embeddingsCreated = 0;
@@ -112,6 +129,10 @@ struct RunStats
     double totalSchedulerNs() const;
     double totalCacheNs() const;
     std::uint64_t totalEmbeddings() const;
+    std::uint64_t totalFaultsInjected() const;
+    std::uint64_t totalFaultsRecovered() const;
+    std::uint64_t totalChunksReplayed() const;
+    double totalRecoveryNs() const;
 
     /** Static-cache hit rate over all nodes (0 when unused). */
     double staticCacheHitRate() const;

@@ -31,6 +31,14 @@ phaseEventName(PhaseEvent event)
         return "cache_miss";
       case PhaseEvent::KernelDispatch:
         return "kernel_dispatch";
+      case PhaseEvent::FaultInjected:
+        return "fault_injected";
+      case PhaseEvent::FetchRetry:
+        return "retry";
+      case PhaseEvent::FetchRecovered:
+        return "recovered";
+      case PhaseEvent::ChunkReplayed:
+        return "chunk_replayed";
     }
     KHUZDUL_PANIC("unreachable phase event");
 }

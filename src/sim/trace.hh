@@ -38,9 +38,13 @@ enum class PhaseEvent : std::uint8_t
     CacheHit,            ///< edge list served by the data cache
     CacheMiss,           ///< cache probe missed; resolution continues
     KernelDispatch,      ///< set-kernel executions (per-chunk delta)
+    FaultInjected,       ///< a transfer attempt hit an injected fault
+    FetchRetry,          ///< failed batch re-attempted after backoff
+    FetchRecovered,      ///< batch eventually served after >=1 fault
+    ChunkReplayed,       ///< chunk re-enqueued after retry exhaustion
 };
 
-inline constexpr std::size_t kNumPhaseEvents = 9;
+inline constexpr std::size_t kNumPhaseEvents = 13;
 
 /** Stable lowercase name (used by the JSON sink and tests). */
 const char *phaseEventName(PhaseEvent event);

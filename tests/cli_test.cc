@@ -229,6 +229,77 @@ TEST(Cli, TraceWritesJsonLines)
     std::remove(path.c_str());
 }
 
+TEST(Cli, FaultPlanRoundTripsIntoStatsJson)
+{
+    // --fault is repeatable; every spec lands in the plan and the
+    // run reports its recovery work in the faults block — with the
+    // count unchanged from the healthy run.
+    const std::string path = testing::TempDir() + "/cli_faults.json";
+    const std::string base =
+        "count --graph er:500:2000:3 --pattern triangle --nodes 4 ";
+    const auto healthy = runCli(base);
+    ASSERT_EQ(healthy.first, 0);
+    const auto [code, out] =
+        runCli(base
+               + "--fault drop:0-1:msg=1:count=2 "
+                 "--fault 'timeout:*-*:msg=2' --stats-json " + path);
+    EXPECT_EQ(code, 0);
+    // First line carries the count; faults must not change it.
+    EXPECT_EQ(out.substr(0, out.find('\n')),
+              healthy.second.substr(0, healthy.second.find('\n')));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string json = content.str();
+    EXPECT_NE(json.find("\"faults\": {\"injected\": "),
+              std::string::npos);
+    EXPECT_NE(json.find("\"recovery_ns\": "), std::string::npos);
+    EXPECT_EQ(json.find("\"injected\": 0,"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, FaultedStatsAreThreadCountInvariant)
+{
+    const std::string base =
+        "count --graph er:500:2000:3 --pattern triangle --nodes 4 "
+        "--fault 'drop:*-*:msg=1:count=4' --fault down:node=2:from=0 ";
+    const auto modeled = [](const std::string &out) {
+        const auto pos = out.find("host wall time");
+        EXPECT_NE(pos, std::string::npos);
+        return out.substr(0, pos);
+    };
+    const auto reference = runCli(base + "--threads 1");
+    ASSERT_EQ(reference.first, 0);
+    for (const std::string flag : {"--threads 2", "--threads 8"}) {
+        const auto [code, out] = runCli(base + flag);
+        EXPECT_EQ(code, 0) << flag;
+        EXPECT_EQ(modeled(out), modeled(reference.second)) << flag;
+    }
+}
+
+TEST(Cli, MalformedFaultSpecsAreRejected)
+{
+    const std::string base =
+        "count --graph er:200:800:3 --pattern triangle ";
+    for (const std::string spec :
+         {"drop:0-1", "explode:0-1:msg=1", "degrade:0-1:factor=0.5",
+          "down:from=10"}) {
+        const auto [code, out] = runCli(base + "--fault '" + spec + "'");
+        EXPECT_EQ(code, 1) << spec;
+        EXPECT_NE(out.find("fault"), std::string::npos) << spec;
+    }
+}
+
+TEST(Cli, HelpDocumentsFaultGrammar)
+{
+    const auto [code, out] = runCli("help count");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("--fault"), std::string::npos);
+    EXPECT_NE(out.find("drop:SRC-DST:msg=N"), std::string::npos);
+    EXPECT_NE(out.find("--fault-retries"), std::string::npos);
+}
+
 TEST(Cli, BadInputsReportErrors)
 {
     EXPECT_EQ(runCli("count --graph /nonexistent.el "

@@ -362,7 +362,7 @@ TEST(Engine, FaultInjectionByteCapFires)
     core::Engine engine(g, config);
     engine.fabric().setByteCap(1024);
     EXPECT_THROW(engine.run(compileAutomine(Pattern::clique(4), {})),
-                 FatalError);
+                 sim::ByteCapExceededFault);
 }
 
 TEST(Engine, MoreNodesShortenModeledMakespan)
@@ -426,7 +426,7 @@ TEST(Engine, ByteCapFiresUnderParallelRun)
     core::Engine engine(g, config);
     engine.fabric().setByteCap(1024);
     EXPECT_THROW(engine.run(compileAutomine(Pattern::clique(4), {})),
-                 FatalError);
+                 sim::ByteCapExceededFault);
 }
 
 TEST(Engine, TraceStreamIsThreadCountInvariant)

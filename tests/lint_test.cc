@@ -65,8 +65,8 @@ TEST(LintRules, TableListsEveryContractRule)
         ids.push_back(r.id);
     const std::vector<std::string> expected = {
         "wall-clock",   "prng",         "unordered-iter",
-        "thread-primitive", "fabric-mutation", "header-guard",
-        "using-namespace-header"};
+        "thread-primitive", "fabric-mutation", "fault-modeled-state",
+        "header-guard", "using-namespace-header"};
     EXPECT_EQ(ids, expected);
     for (const std::string &id : ids)
         EXPECT_TRUE(lint::isRuleId(id));
@@ -254,6 +254,64 @@ TEST(LintFabric, FabricImplAndAnnotationAreExempt)
                        "b, l);\n");
     EXPECT_EQ(liveCount(r, "fabric-mutation"), 0);
     EXPECT_EQ(suppressedCount(r, "fabric-mutation"), 1);
+}
+
+// ----------------------------------------------------------------
+// fault-modeled-state.
+// ----------------------------------------------------------------
+
+TEST(LintFaultState, FlagsHostTimeSymbolsInRecoveryPaths)
+{
+    // The quoted-include form is invisible to token rules (string
+    // contents are blanked), but using the header requires naming
+    // Timer/elapsedNs, which the rule does see.
+    const std::string code = "Timer t;\n"
+                             "double ns = t.elapsedNs();\n"
+                             "stats.hostWallNs += ns;\n";
+    EXPECT_EQ(liveCount(run("src/sim/faults.cc", code),
+                        "fault-modeled-state"),
+              3);
+    EXPECT_EQ(liveCount(run("src/core/provider.cc", code),
+                        "fault-modeled-state"),
+              3);
+    EXPECT_EQ(liveCount(run("src/core/circulant.hh", code),
+                        "fault-modeled-state"),
+              3);
+}
+
+TEST(LintFaultState, OtherModeledFilesAreOutOfScope)
+{
+    // engine.cc's hostWallNs accounting is policed by the wall-clock
+    // rule; this rule fences the fault/recovery TUs specifically.
+    const std::string code = "stats.hostWallNs += 1;\n";
+    EXPECT_EQ(liveCount(run("src/sim/stats.cc", code),
+                        "fault-modeled-state"),
+              0);
+    EXPECT_EQ(liveCount(run("src/core/engine.cc", code),
+                        "fault-modeled-state"),
+              0);
+    EXPECT_EQ(liveCount(run("src/core/circulant_helper.cc", code),
+                        "fault-modeled-state"),
+              0);
+}
+
+TEST(LintFaultState, ModeledClockIdentifiersDoNotMatch)
+{
+    const auto r = run("src/sim/faults.cc",
+                       "clockNs_ += charge.chargeNs;\n"
+                       "double backoff = cost->retryBackoffNs;\n"
+                       "faults->advance(backoff);\n");
+    EXPECT_EQ(liveCount(r, "fault-modeled-state"), 0);
+}
+
+TEST(LintFaultState, AnnotationSuppressesWithReason)
+{
+    const auto r = run("src/core/provider.cc",
+                       "// khuzdul-lint: allow(fault-modeled-state) "
+                       "host-side debug counter, not a trigger input\n"
+                       "double w = t.elapsedNs();\n");
+    EXPECT_EQ(liveCount(r, "fault-modeled-state"), 0);
+    EXPECT_EQ(suppressedCount(r, "fault-modeled-state"), 1);
 }
 
 // ----------------------------------------------------------------

@@ -342,5 +342,79 @@ TEST_P(HostThreadSweep, ModeledResultsAreThreadCountInvariant)
 INSTANTIATE_TEST_SUITE_P(Threads, HostThreadSweep,
                          testing::Values(1u, 2u, 4u, 0u));
 
+/**
+ * Fault plans x host threads: injected faults and the recovery
+ * ladder must preserve exact counts, and for a fixed plan the whole
+ * modeled result must stay byte-identical at every thread count
+ * (DESIGN.md §9) — fault triggers read only per-unit ledger state,
+ * never host conditions.
+ */
+using FaultAxis = std::tuple<const char *, unsigned>;
+
+class FaultSweep : public testing::TestWithParam<FaultAxis>
+{
+};
+
+TEST_P(FaultSweep, FaultedRunsKeepCountsAndThreadInvariance)
+{
+    const auto [spec, threads] = GetParam();
+    const Graph &g = sweepGraph();
+    core::EngineConfig config;
+    config.cluster = sim::ClusterConfig::paperDefault(4);
+    config.chunkBytes = 16 << 10;
+    config.cacheDegreeThreshold = 8;
+    config.faults.add(spec);
+
+    core::EngineConfig reference_config = config;
+    reference_config.hostThreads = 1;
+    config.hostThreads = threads;
+
+    core::Engine reference(g, reference_config);
+    core::Engine engine(g, config);
+    for (const Pattern &p :
+         {Pattern::triangle(), Pattern::clique(4),
+          Pattern::cycleOf(4), Pattern::diamond()}) {
+        const auto plan = compileAutomine(p, {});
+        // Counts under faults equal the fault-free oracle exactly.
+        ASSERT_EQ(reference.run(plan), oracle(p)) << p.toString();
+        EXPECT_EQ(engine.run(plan), oracle(p)) << p.toString();
+    }
+
+    // Same plan, different thread count: bit-identical modeled dump
+    // (including the faults block), ledger and trace tallies.
+    EXPECT_EQ(engine.stats().toJson(false),
+              reference.stats().toJson(false));
+    const NodeId nodes = config.cluster.numNodes;
+    for (NodeId src = 0; src < nodes; ++src)
+        for (NodeId dst = 0; dst < nodes; ++dst)
+            EXPECT_EQ(engine.fabric().linkBytes(src, dst),
+                      reference.fabric().linkBytes(src, dst))
+                << src << "<-" << dst;
+    for (std::size_t e = 0; e < sim::kNumPhaseEvents; ++e) {
+        const auto event = static_cast<sim::PhaseEvent>(e);
+        EXPECT_EQ(engine.traceCounts().count(event),
+                  reference.traceCounts().count(event))
+            << sim::phaseEventName(event);
+        EXPECT_EQ(engine.traceCounts().valueSum(event),
+                  reference.traceCounts().valueSum(event))
+            << sim::phaseEventName(event);
+    }
+
+    // The plan actually did something on the reference run.
+    EXPECT_GT(reference.stats().totalFaultsInjected()
+                  + reference.stats().totalRecoveryNs(),
+              0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlansAndThreads, FaultSweep,
+    testing::Combine(
+        testing::Values("drop:*-*:msg=1:count=2",
+                        "timeout:0-1:msg=1:count=6",
+                        "degrade:*-*:factor=5:from=0",
+                        "down:node=3:from=0",
+                        "drop:*-*:msg=1:count=4"),
+        testing::Values(1u, 2u, 4u, 8u)));
+
 } // namespace
 } // namespace khuzdul

@@ -93,7 +93,8 @@ TEST(Fabric, ByteCapInjectsFailure)
     sim::Fabric fabric(partition, cost);
     fabric.setByteCap(1000);
     fabric.recordTransfer(0, 1, 900, 1);
-    EXPECT_THROW(fabric.recordTransfer(0, 1, 200, 1), FatalError);
+    EXPECT_THROW(fabric.recordTransfer(0, 1, 200, 1),
+                 sim::ByteCapExceededFault);
 }
 
 TEST(Fabric, ResetClearsLedger)
@@ -120,7 +121,8 @@ TEST(Fabric, ResetClearsByteCapProgress)
     // The cap stays armed but its progress counter restarts, so the
     // same volume fits again before the fault fires.
     EXPECT_NO_THROW(fabric.recordTransfer(0, 1, 900, 1));
-    EXPECT_THROW(fabric.recordTransfer(0, 1, 200, 1), FatalError);
+    EXPECT_THROW(fabric.recordTransfer(0, 1, 200, 1),
+                 sim::ByteCapExceededFault);
 }
 
 TEST(Fabric, ByteCapArmsMidRun)
@@ -133,7 +135,8 @@ TEST(Fabric, ByteCapArmsMidRun)
     // arming mid-run compares against all bytes moved so far.
     fabric.recordTransfer(0, 1, 5000, 2);
     fabric.setByteCap(1000);
-    EXPECT_THROW(fabric.recordTransfer(0, 1, 1, 1), FatalError);
+    EXPECT_THROW(fabric.recordTransfer(0, 1, 1, 1),
+                 sim::ByteCapExceededFault);
     // Same-node (NUMA) traffic never counts against the cap.
     EXPECT_NO_THROW(fabric.recordTransfer(1, 1, 4096, 1));
 }
@@ -230,9 +233,10 @@ TEST(RunStats, ToJsonCarriesTotalsAndNodes)
                         "\"bitmap\": 1}"),
               std::string::npos);
     EXPECT_NE(json.find("\"nodes\": ["), std::string::npos);
-    // One object per node, plus the root and kernel_calls objects.
-    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 4);
-    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 4);
+    // One object per node, plus the root, kernel_calls and faults
+    // objects.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 5);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 5);
 }
 
 TEST(RunStats, EmptyStatsAreSafe)

@@ -57,16 +57,19 @@ class Args
                               << "' (options start with --)");
             key = key.substr(2);
             // Both --key value and --key=value are accepted.
+            std::string value;
             if (const std::size_t eq = key.find('=');
                 eq != std::string::npos) {
-                values_[key.substr(0, eq)] = key.substr(eq + 1);
+                value = key.substr(eq + 1);
+                key = key.substr(0, eq);
             } else if (i + 1 < argc
                        && std::string(argv[i + 1]).rfind("--", 0)
                            != 0) {
-                values_[key] = argv[++i];
-            } else {
-                values_[key] = "";
+                value = argv[++i];
             }
+            values_[key] = value;
+            // Repeatable options (--fault) read every occurrence.
+            occurrences_[key].push_back(value);
         }
     }
 
@@ -94,8 +97,18 @@ class Args
         return it == values_.end() ? fallback : std::stod(it->second);
     }
 
+    /** Every value of a repeatable option, in command-line order. */
+    std::vector<std::string>
+    getList(const std::string &key) const
+    {
+        auto it = occurrences_.find(key);
+        return it == occurrences_.end() ? std::vector<std::string>{}
+                                        : it->second;
+    }
+
   private:
     std::map<std::string, std::string> values_;
+    std::map<std::string, std::vector<std::string>> occurrences_;
 };
 
 /**
@@ -237,6 +250,11 @@ engineConfigFromArgs(const Args &args)
     // Host-side only: results are bit-identical for every value.
     config.hostThreads =
         static_cast<unsigned>(args.getU64("threads", 0));
+    // Deterministic fault schedule (repeatable --fault, §9).
+    for (const std::string &spec : args.getList("fault"))
+        config.faults.add(spec);
+    config.faults.maxRetries =
+        static_cast<unsigned>(args.getU64("fault-retries", 3));
     return config;
 }
 
@@ -469,6 +487,18 @@ cmdHelp(const std::string &topic)
                   "units (0 = all;\n"
                   "                 modeled results identical for "
                   "every N)\n"
+                  "  [--fault SPEC]...  inject a deterministic fabric "
+                  "fault; SPEC is\n"
+                  "      drop:SRC-DST:msg=N[:count=K]\n"
+                  "      timeout:SRC-DST:msg=N[:count=K]\n"
+                  "      degrade:SRC-DST:factor=F[:from=NS][:until=NS]"
+                  "\n"
+                  "      down:node=D[:from=NS][:until=NS]  (no until "
+                  "= permanent)\n"
+                  "      (SRC/DST node ids or *; counts are exact "
+                  "under any plan)\n"
+                  "  [--fault-retries N]  per-batch retry budget "
+                  "(default 3)\n"
                   "  [--stats-json FILE] [--trace FILE]");
     } else {
         std::puts(

@@ -45,6 +45,11 @@ ruleTable()
          "fabric ledger mutation only via Fabric::apply / "
          "CirculantScheduler::issue outside sim/fabric.cc — no raw "
          "recordTransfer/setByteCap/reset calls"},
+        {"fault-modeled-state", RuleScope::RecoveryPaths,
+         "fault triggers and recovery decisions read only modeled "
+         "ledger state — no Timer/hostWallNs/elapsedNs or "
+         "support/timer.hh in sim/faults.* or the provider/circulant "
+         "recovery paths"},
         {"header-guard", RuleScope::HeadersOnly,
          "every header opens with #pragma once or an #ifndef guard"},
         {"using-namespace-header", RuleScope::HeadersOnly,
@@ -124,6 +129,21 @@ isFabricImpl(const std::string &path)
     return pathHasDir(path, "src/sim")
         && (endsWith(path, "/fabric.cc") || endsWith(path, "/fabric.hh")
             || path == "fabric.cc" || path == "fabric.hh");
+}
+
+/** The TUs where fault triggers fire and recovery is priced; host
+ *  time reaching any of them would break plan replayability. */
+bool
+isRecoveryPath(const std::string &path)
+{
+    const auto isFile = [&](const std::string &dir,
+                            const std::string &stem) {
+        return pathHasDir(path, dir)
+            && (endsWith(path, "/" + stem + ".cc")
+                || endsWith(path, "/" + stem + ".hh"));
+    };
+    return isFile("src/sim", "faults") || isFile("src/core", "provider")
+        || isFile("src/core", "circulant");
 }
 
 // ---------------------------------------------------------------
@@ -328,6 +348,14 @@ tokenRules()
              "direct fabric ledger mutation — route transfers through "
              "Fabric::apply or CirculantScheduler::issue",
              false});
+        r.push_back(
+            {"fault-modeled-state",
+             std::regex(R"(\b(hostWallNs|elapsedNs|elapsedSeconds|Timer)\b|\btimer\.hh\b)"),
+             "host-time symbol in a fault/recovery path — fault "
+             "triggers and retry pricing must read only modeled "
+             "ledger state (link ordinals, the modeled clock) so "
+             "plans replay bit-identically",
+             false});
         return r;
     }();
     return rules;
@@ -342,6 +370,8 @@ ruleAppliesTo(const std::string &rule, const std::string &path)
         return isModeledZone(path) && !isParallelRuntime(path);
     if (rule == "fabric-mutation")
         return isModeledZone(path) && !isFabricImpl(path);
+    if (rule == "fault-modeled-state")
+        return isRecoveryPath(path);
     return true; // wall-clock, prng: every scanned file
 }
 

@@ -38,6 +38,9 @@ enum class RuleScope
     AllSources,    ///< every scanned file
     HeadersOnly,   ///< every scanned .hh/.hpp/.h
     ModeledZones,  ///< src/core/, src/sim/, src/engines/
+    /** The fault-injection / recovery TUs: sim/faults.*,
+     *  core/provider.*, core/circulant.* (DESIGN.md §9). */
+    RecoveryPaths,
 };
 
 /** One entry of the rules table (`khuzdul_lint --rules`). */

@@ -47,6 +47,8 @@ printRules()
             scope = "modeled";
         else if (r.scope == khuzdul::lint::RuleScope::HeadersOnly)
             scope = "headers";
+        else if (r.scope == khuzdul::lint::RuleScope::RecoveryPaths)
+            scope = "recovery";
         std::printf("%-24s %-9s %s\n", r.id.c_str(), scope,
                     r.summary.c_str());
     }
