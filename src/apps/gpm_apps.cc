@@ -35,5 +35,32 @@ motifCount(engines::KhuzdulSystem &system, int k)
     return result;
 }
 
+std::vector<MotifCount>
+motifCount(core::QueryService &service, engines::CompilerStyle style,
+           int k)
+{
+    KHUZDUL_REQUIRE(k >= 3 && k <= 5, "motif census supports k in [3, 5]");
+    PlanOptions options;
+    options.induced = true;
+    std::vector<MotifCount> result;
+    std::vector<std::size_t> ids;
+    for (const Pattern &p : gen::connectedPatterns(k)) {
+        const ExtendPlan plan =
+            style == engines::CompilerStyle::Automine
+            ? compileAutomine(p, options)
+            : compileGraphPi(p, service.context().profile(), options);
+        ids.push_back(service.submit(plan));
+        result.push_back({p, 0});
+    }
+    service.wait();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const core::QueryResult &query = service.result(ids[i]);
+        KHUZDUL_CHECK(!query.failed,
+                      "motif query failed: " << query.error);
+        result[i].count = query.count;
+    }
+    return result;
+}
+
 } // namespace apps
 } // namespace khuzdul

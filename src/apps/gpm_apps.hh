@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "core/service/service.hh"
 #include "engines/khuzdul_system.hh"
 #include "pattern/pattern.hh"
 
@@ -38,6 +39,18 @@ struct MotifCount
  * connected size-k pattern (2 motifs for k=3, 6 for k=4).
  */
 std::vector<MotifCount> motifCount(engines::KhuzdulSystem &system,
+                                   int k);
+
+/**
+ * Concurrent k-motif census: every motif's query is submitted to
+ * @p service up front and mined as its own session over the shared
+ * graph, so the census saturates the host pool instead of running
+ * motifs back-to-back.  Counts are identical to the serial overload
+ * (the service's determinism contract).  @p style picks the client
+ * compiler, matching KhuzdulSystem's.
+ */
+std::vector<MotifCount> motifCount(core::QueryService &service,
+                                   engines::CompilerStyle style,
                                    int k);
 
 } // namespace apps

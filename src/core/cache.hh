@@ -88,6 +88,20 @@ class DataCache
         hits_ = misses_ = insertions_ = evictions_ = 0;
     }
 
+    /** Drop all cached lists AND counters, returning the cache to
+     *  its just-constructed (cold) state.  `resetCounters` keeps
+     *  contents warm; this is the full cold restart behind
+     *  `Engine::clearCaches()`. */
+    void
+    clear()
+    {
+        entries_.clear();
+        order_.clear();
+        usedBytes_ = 0;
+        fullForever_ = false;
+        resetCounters();
+    }
+
   private:
     void evictOne();
 

@@ -1,0 +1,134 @@
+#include "core/context.hh"
+
+#include "graph/orientation.hh"
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+namespace
+{
+
+std::uint64_t
+perUnitCacheBytes(const Graph &g, const GraphSetup &setup,
+                  const Partition &partition)
+{
+    const double per_node =
+        setup.cacheFraction * static_cast<double>(g.sizeBytes());
+    return static_cast<std::uint64_t>(per_node
+                                      / partition.socketsPerNode());
+}
+
+} // namespace
+
+GraphContext::GraphContext(const Graph &g, const GraphSetup &setup)
+    : graph_(&g), setup_(setup),
+      partition_(g, setup.cluster.numNodes,
+                 setup.numaAware ? setup.cluster.socketsPerNode : 1),
+      residency_(g, partition_.numUnits(),
+                 setup.cachePolicy == CachePolicy::None
+                     ? 0
+                     : perUnitCacheBytes(g, setup, partition_),
+                 setup.cacheDegreeThreshold),
+      sharedFabric_(partition_, setup_.cost)
+{
+}
+
+unsigned
+GraphContext::computeCoresPerUnit() const
+{
+    const unsigned per_node = setup_.cluster.computeCoresPerNode();
+    if (!setup_.numaAware)
+        return per_node;
+    return std::max(1u, per_node / setup_.cluster.socketsPerNode);
+}
+
+std::uint64_t
+GraphContext::cacheBytesPerUnit() const
+{
+    return perUnitCacheBytes(*graph_, setup_, partition_);
+}
+
+void
+GraphContext::ensureHubBitmaps()
+{
+    if (setup_.hubBitmapMaxBytes == 0)
+        return;
+    // Graph::buildHubBitmaps mutates lazily-built mutable state and
+    // needs external synchronization when sessions spin up
+    // concurrently; the context is that synchronization point.
+    // khuzdul-lint: allow(thread-primitive) build-once guard for the shared hub bitmaps; host-side only
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (hubBitmapsBuilt_)
+        return;
+    graph_->buildHubBitmaps(setup_.hubBitmapDegreeThreshold,
+                            setup_.hubBitmapMaxBytes);
+    hubBitmapsBuilt_ = true;
+}
+
+const GraphProfile &
+GraphContext::profile()
+{
+    // khuzdul-lint: allow(thread-primitive) build-once guard for the shared planner profile; host-side only
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!profile_)
+        profile_ = std::make_unique<GraphProfile>(
+            GraphProfile::fromGraph(*graph_));
+    return *profile_;
+}
+
+const Graph &
+GraphContext::orientedGraph()
+{
+    // khuzdul-lint: allow(thread-primitive) build-once guard for the shared oriented DAG; host-side only
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!oriented_)
+        oriented_ = std::make_unique<Graph>(graph::orient(*graph_));
+    return *oriented_;
+}
+
+void
+GraphContext::absorbTraffic(const sim::Fabric &query_ledger)
+{
+    // khuzdul-lint: allow(thread-primitive) cumulative ledger fold; per-link uint64 sums are admission-order independent
+    std::lock_guard<std::mutex> lock(mutex_);
+    sharedFabric_.absorb(query_ledger);
+}
+
+std::uint64_t
+GraphContext::sharedTotalBytes() const
+{
+    // khuzdul-lint: allow(thread-primitive) observability read of the cumulative ledger
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sharedFabric_.totalBytes();
+}
+
+std::uint64_t
+GraphContext::sharedLinkBytes(NodeId src, NodeId dst) const
+{
+    // khuzdul-lint: allow(thread-primitive) observability read of the cumulative ledger
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sharedFabric_.linkBytes(src, dst);
+}
+
+std::uint64_t
+GraphContext::sharedLinkMessages(NodeId src, NodeId dst) const
+{
+    // khuzdul-lint: allow(thread-primitive) observability read of the cumulative ledger
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sharedFabric_.linkMessages(src, dst);
+}
+
+void
+GraphContext::clearCaches()
+{
+    residency_.clear();
+    // khuzdul-lint: allow(thread-primitive) cumulative ledger wipe alongside the residency directory
+    std::lock_guard<std::mutex> lock(mutex_);
+    sharedFabric_.reset();
+}
+
+} // namespace core
+} // namespace khuzdul

@@ -264,22 +264,91 @@ class HybridExplorer
     std::int64_t raw_ = 0;
 };
 
+GraphSetup
+EngineConfig::graphSetup() const
+{
+    GraphSetup setup;
+    setup.cluster = cluster;
+    setup.cost = cost;
+    setup.cachePolicy = cachePolicy;
+    setup.cacheFraction = cacheFraction;
+    setup.cacheDegreeThreshold = cacheDegreeThreshold;
+    setup.horizontalSharing = horizontalSharing;
+    setup.horizontalSlots = horizontalSlots;
+    setup.numaAware = numaAware;
+    setup.numaComputePenalty = numaComputePenalty;
+    setup.hubBitmapDegreeThreshold = hubBitmapDegreeThreshold;
+    setup.hubBitmapMaxBytes = hubBitmapMaxBytes;
+    return setup;
+}
+
+SessionConfig
+EngineConfig::session() const
+{
+    SessionConfig session;
+    session.chunkBytes = chunkBytes;
+    session.miniBatchSize = miniBatchSize;
+    session.kernelMode = kernelMode;
+    session.hostThreads = hostThreads;
+    session.faults = faults;
+    return session;
+}
+
+namespace
+{
+
+/** The flat view HybridExplorer and accessors read: graph half from
+ *  the context, query half from the session. */
+EngineConfig
+composeConfig(const GraphSetup &setup, const SessionConfig &session)
+{
+    EngineConfig config;
+    config.cluster = setup.cluster;
+    config.cost = setup.cost;
+    config.cachePolicy = setup.cachePolicy;
+    config.cacheFraction = setup.cacheFraction;
+    config.cacheDegreeThreshold = setup.cacheDegreeThreshold;
+    config.horizontalSharing = setup.horizontalSharing;
+    config.horizontalSlots = setup.horizontalSlots;
+    config.numaAware = setup.numaAware;
+    config.numaComputePenalty = setup.numaComputePenalty;
+    config.hubBitmapDegreeThreshold = setup.hubBitmapDegreeThreshold;
+    config.hubBitmapMaxBytes = setup.hubBitmapMaxBytes;
+    config.chunkBytes = session.chunkBytes;
+    config.miniBatchSize = session.miniBatchSize;
+    config.kernelMode = session.kernelMode;
+    config.hostThreads = session.hostThreads;
+    config.faults = session.faults;
+    return config;
+}
+
+} // namespace
+
 Engine::Engine(const Graph &g, const EngineConfig &config)
-    : graph_(&g), config_(config),
-      partition_(g, config.cluster.numNodes,
-                 config.numaAware ? config.cluster.socketsPerNode : 1),
+    : Engine(std::make_unique<GraphContext>(g, config.graphSetup()),
+             nullptr, config.session())
+{}
+
+Engine::Engine(GraphContext &context, const SessionConfig &session)
+    : Engine(nullptr, &context, session)
+{}
+
+Engine::Engine(std::unique_ptr<GraphContext> owned,
+               GraphContext *context, const SessionConfig &session)
+    : ownedContext_(std::move(owned)),
+      context_(ownedContext_ ? ownedContext_.get() : context),
+      graph_(&context_->graph()), session_(session),
+      config_(composeConfig(context_->setup(), session)),
+      partition_(context_->partition()),
       fabric_(partition_, config_.cost)
 {
+    const Graph &g = *graph_;
     stats_.nodes.resize(partition_.numUnits());
     if ((config_.kernelMode == KernelMode::Auto
          || config_.kernelMode == KernelMode::Bitmap)
         && config_.hubBitmapMaxBytes > 0)
-        g.buildHubBitmaps(config_.hubBitmapDegreeThreshold,
-                          config_.hubBitmapMaxBytes);
-    const double per_node = config_.cacheFraction
-        * static_cast<double>(g.sizeBytes());
-    const std::uint64_t per_unit = static_cast<std::uint64_t>(
-        per_node / partition_.socketsPerNode());
+        context_->ensureHubBitmaps();
+    const std::uint64_t per_unit = context_->cacheBytesPerUnit();
     for (unsigned u = 0; u < partition_.numUnits(); ++u) {
         unitSinks_.push_back(
             std::make_unique<sim::BufferingTraceSink>());
@@ -292,6 +361,7 @@ Engine::Engine(const Graph &g, const EngineConfig &config)
             EdgeListProvider::engineCosts(config_.cost,
                                           *caches_.back()),
             *unitSinks_.back()));
+        providers_.back()->setResidency(&context_->residency());
         if (!config_.faults.empty())
             faultSessions_.push_back(
                 std::make_unique<sim::FaultSession>(
@@ -360,7 +430,13 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
         raws[u] = explorer.run();
     };
 
-    if (threads <= 1) {
+    if (sharedPool_ && !visitor) {
+        // Service mode: unit tasks go to the QueryService's shared
+        // pool, where they interleave with co-running sessions'
+        // units at task granularity.  run() blocks until this
+        // session's units finish (the pool is reentrant).
+        sharedPool_->run(units, run_unit);
+    } else if (threads <= 1) {
         for (unsigned u = 0; u < units; ++u)
             run_unit(u);
     } else {
@@ -381,7 +457,17 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
         raw += raws[u];
     }
 
-    stats_.hostThreads = std::max(stats_.hostThreads, threads);
+    // Cross-query residency observations (host block of the stats;
+    // never part of the modeled dump).
+    for (auto &provider : providers_) {
+        stats_.sharedCacheProbes += provider->sharedProbes();
+        stats_.sharedCacheHits += provider->sharedHits();
+        provider->resetSharedCounters();
+    }
+
+    stats_.hostThreads = std::max(
+        stats_.hostThreads,
+        sharedPool_ && !visitor ? sharedPool_->workers() : threads);
     stats_.hostWallNs += std::chrono::duration<double, std::nano>(
         // khuzdul-lint: allow(wall-clock) host observability: feeds RunStats::hostWallNs, excluded from toJson(false)
         std::chrono::steady_clock::now() - wall_start)
@@ -406,8 +492,21 @@ Engine::resetStats()
         sink->clear();
     for (auto &cache : caches_)
         cache->resetCounters();
+    for (auto &provider : providers_)
+        provider->resetSharedCounters();
     for (auto &session : faultSessions_)
         session->reset();
+}
+
+void
+Engine::clearCaches()
+{
+    for (auto &cache : caches_)
+        cache->clear();
+    // A private context is this session's alone; a shared one
+    // belongs to every co-running session and is never touched.
+    if (ownedContext_)
+        ownedContext_->clearCaches();
 }
 
 } // namespace core

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/cache.hh"
+#include "core/context.hh"
 #include "core/kernels/kernels.hh"
 #include "core/provider.hh"
 #include "core/visitor.hh"
@@ -55,8 +56,51 @@ namespace core
 
 class ThreadPool;
 
+/**
+ * Per-query session tunables — the knobs that are legitimately a
+ * property of one query rather than of the resident graph (those
+ * live in GraphSetup / GraphContext).  Defaults mirror the paper's
+ * configuration at stand-in scale.
+ */
+struct SessionConfig
+{
+    /**
+     * Per-level chunk byte budget (§4.2).  The paper defaults to
+     * 4 GB on ~10 GB graphs; scaled stand-ins default to 4 MB.
+     */
+    std::uint64_t chunkBytes = 4ull << 20;
+
+    /** Embeddings per dynamically-dispatched mini-batch (§6). */
+    unsigned miniBatchSize = 64;
+
+    /** Set-kernel dispatch policy (core/kernels): Auto adapts per
+     *  call; other modes force one kernel for A/B runs.  Charges
+     *  are canonical, so the mode never changes modeled results. */
+    KernelMode kernelMode = KernelMode::Auto;
+
+    /**
+     * Host worker threads executing simulated units in parallel
+     * (§6); ignored when the session runs on a QueryService's
+     * shared pool.  Purely host-side: every value produces
+     * bit-identical modeled results.
+     */
+    unsigned hostThreads = 0;
+
+    /**
+     * Deterministic fault schedule (§9, CLI `--fault`).  Empty =
+     * healthy fabric.
+     */
+    sim::FaultPlan faults;
+};
+
 /** All engine tunables; defaults mirror the paper's configuration
- *  scaled to the ~1000x smaller stand-in datasets. */
+ *  scaled to the ~1000x smaller stand-in datasets.
+ *
+ *  This flat struct predates the GraphContext/session ownership
+ *  split and remains the convenient single-query surface (CLI,
+ *  benches, most tests).  It is exactly the concatenation of the
+ *  two halves: graphSetup() extracts the graph-resident half and
+ *  session() the per-query half. */
 struct EngineConfig
 {
     /** Simulated machines. */
@@ -129,18 +173,49 @@ struct EngineConfig
      * exhausted chunks are replayed, never dropped.
      */
     sim::FaultPlan faults;
+
+    /** The graph-resident half (GraphContext construction). */
+    GraphSetup graphSetup() const;
+
+    /** The per-query half (session construction). */
+    SessionConfig session() const;
 };
 
 /**
- * The execution engine.  One instance owns the partition, the
- * fabric ledger, per-unit caches and cumulative statistics; run()
- * can be invoked repeatedly (e.g. once per motif pattern) and
- * accumulates stats across runs.
+ * The execution engine, structured as a per-query *session* over a
+ * shared GraphContext.  The context owns everything graph-resident
+ * (partition, hub bitmaps, cross-query residency directory,
+ * cumulative traffic ledger); the session owns everything a query
+ * must be able to account deterministically on its own — its
+ * per-unit modeled DataCaches, its fabric ledger, its RunStats and
+ * trace sinks.  run() can be invoked repeatedly (e.g. once per
+ * motif pattern) and accumulates stats across runs.
+ *
+ * Reset vs. clear semantics (the PR-5 wart, now explicit):
+ *   - resetStats() wipes statistics, trace counts and the session's
+ *     traffic ledger but keeps cache *contents* warm — reruns after
+ *     a reset model a long-lived deployment and may legitimately
+ *     differ from a cold run (fewer misses, less traffic).
+ *   - clearCaches() additionally drops the session's cache contents
+ *     (and, when the engine owns its private context, the context's
+ *     residency directory and cumulative ledger), so
+ *     clearCaches() + resetStats() restores the full cold-start
+ *     state: the next run is byte-identical to a fresh engine's
+ *     under every cache policy, not just CachePolicy::None.
  */
 class Engine
 {
   public:
+    /** Single-query convenience: builds a private GraphContext from
+     *  the flat config's graph half and a session from its query
+     *  half.  Exactly equivalent to the two-step form. */
     Engine(const Graph &g, const EngineConfig &config);
+
+    /** A query session over a shared (possibly concurrent) context.
+     *  @p context must outlive the engine. */
+    explicit Engine(GraphContext &context,
+                    const SessionConfig &session = {});
+
     ~Engine();
 
     Engine(const Engine &) = delete;
@@ -158,6 +233,17 @@ class Engine
 
     const Graph &graph() const { return *graph_; }
     const Partition &partition() const { return partition_; }
+
+    /** The shared context this session runs over (the engine's own
+     *  private one when built from a flat EngineConfig). */
+    GraphContext &context() { return *context_; }
+    const GraphContext &context() const { return *context_; }
+
+    /** Per-query tunables of this session. */
+    const SessionConfig &session() const { return session_; }
+
+    /** Flat view: the context's graph half concatenated with this
+     *  session's query half. */
     const EngineConfig &config() const { return config_; }
 
     /** Cumulative statistics (one entry per execution unit). */
@@ -179,9 +265,28 @@ class Engine
         return traceCounts_;
     }
 
-    /** Clear statistics, trace counts and the traffic ledger
-     *  (caches persist). */
+    /** Clear statistics, trace counts and the traffic ledger.
+     *  Cache contents stay warm — see the class comment for the
+     *  reset-vs-clear contract. */
     void resetStats();
+
+    /**
+     * Drop this session's cache contents (cold restart).  When the
+     * engine owns its private context the context's residency
+     * directory and cumulative ledger are cleared too; a *shared*
+     * context is never touched — co-running sessions own that
+     * decision via GraphContext::clearCaches().
+     */
+    void clearCaches();
+
+    /**
+     * Run units on an externally owned pool instead of a private
+     * one (nullptr reverts).  The QueryService installs its shared
+     * work-stealing pool here so concurrent sessions' unit tasks
+     * interleave fairly at unit granularity.  Host-side only:
+     * modeled results are identical on any pool.
+     */
+    void setHostPool(ThreadPool *pool) { sharedPool_ = pool; }
 
     /** Compute cores available to one execution unit. */
     unsigned computeCoresPerUnit() const;
@@ -189,9 +294,17 @@ class Engine
   private:
     friend class HybridExplorer;
 
+    Engine(std::unique_ptr<GraphContext> owned, GraphContext *context,
+           const SessionConfig &session);
+
+    /** Non-null iff this engine was built from a flat EngineConfig
+     *  and owns its context. */
+    std::unique_ptr<GraphContext> ownedContext_;
+    GraphContext *context_;
     const Graph *graph_;
+    SessionConfig session_;
     EngineConfig config_;
-    Partition partition_;
+    const Partition &partition_;
     sim::Fabric fabric_;
     sim::RunStats stats_;
     sim::CountingTraceSink traceCounts_;
@@ -210,6 +323,9 @@ class Engine
     /** Host worker pool, created lazily on the first parallel run
      *  and rebuilt when config_.hostThreads resolves differently. */
     std::unique_ptr<ThreadPool> pool_;
+
+    /** Borrowed service pool (setHostPool); wins over pool_. */
+    ThreadPool *sharedPool_ = nullptr;
 };
 
 } // namespace core

@@ -40,40 +40,61 @@ ThreadPool::resolveThreadCount(unsigned requested)
     return hw == 0 ? 1 : hw;
 }
 
+bool
+ThreadPool::isWorkerThread() const
+{
+    const std::thread::id self = std::this_thread::get_id();
+    return std::any_of(threads_.begin(), threads_.end(),
+                       [self](const std::thread &t) {
+                           return t.get_id() == self;
+                       });
+}
+
 void
 ThreadPool::run(std::size_t num_tasks,
                 const std::function<void(std::size_t)> &body)
 {
     if (num_tasks == 0)
         return;
+    // A worker blocking in run() would wait on tasks only its own
+    // loop (or siblings already saturated by it) could drain.
+    KHUZDUL_CHECK(!isWorkerThread(),
+                  "ThreadPool::run called from a pool worker thread");
+
+    // The job outlives every queued Task pointing at it: run()
+    // returns only after remaining hits 0.
+    Job job;
+    job.body = &body;
+    job.errors.assign(num_tasks, nullptr);
+    job.remaining = num_tasks;
+
+    unsigned start;
     {
         std::lock_guard<std::mutex> lock(controlMutex_);
-        KHUZDUL_CHECK(remaining_ == 0 && body_ == nullptr,
-                      "ThreadPool::run is not reentrant");
-        body_ = &body;
-        errors_.assign(num_tasks, nullptr);
-        remaining_ = num_tasks;
         // Counted before the deques fill so queued_ can never
         // underflow: decrements only follow successful pops.
-        queued_ = num_tasks;
+        queued_ += num_tasks;
+        // Concurrent jobs seed from rotated home queues so no job's
+        // tasks pile up behind another's (unit-level fairness).
+        start = seedStart_;
+        seedStart_ = (seedStart_ + 1) % workers();
     }
-    // Seed the deques round-robin.  body_ was published under
-    // controlMutex_ first, so workers get a release/acquire path to
-    // it through whichever lock hands them their first task.
+    // Seed the deques round-robin.  The job state above was written
+    // before the pushes, so workers get a release/acquire path to it
+    // through whichever queue lock hands them their first task.
     for (std::size_t t = 0; t < num_tasks; ++t) {
-        WorkerQueue &q = *queues_[t % queues_.size()];
+        WorkerQueue &q = *queues_[(start + t) % queues_.size()];
         std::lock_guard<std::mutex> lock(q.mutex);
-        q.tasks.push_back(t);
+        q.tasks.push_back(Task{&job, t});
     }
     workAvailable_.notify_all();
     {
         std::unique_lock<std::mutex> lock(controlMutex_);
-        jobDone_.wait(lock, [this] { return remaining_ == 0; });
-        body_ = nullptr;
+        jobDone_.wait(lock, [&job] { return job.remaining == 0; });
     }
     // Rethrow the lowest-indexed failure so the surfaced error does
     // not depend on the interleaving.
-    for (std::exception_ptr &error : errors_)
+    for (std::exception_ptr &error : job.errors)
         if (error)
             std::rethrow_exception(error);
 }
@@ -89,16 +110,16 @@ ThreadPool::workerLoop(unsigned self)
             if (stop_)
                 return;
         }
-        std::size_t task;
+        Task task;
         while (popOwn(self, task) || stealFrom(self, task))
             execute(task);
-        // All deques observed empty: tasks never respawn, so the
-        // job has no runnable work left for this worker.
+        // All deques observed empty: tasks never respawn, so no
+        // runnable work is left for this worker right now.
     }
 }
 
 bool
-ThreadPool::popOwn(unsigned self, std::size_t &task)
+ThreadPool::popOwn(unsigned self, Task &task)
 {
     WorkerQueue &q = *queues_[self];
     {
@@ -114,7 +135,7 @@ ThreadPool::popOwn(unsigned self, std::size_t &task)
 }
 
 bool
-ThreadPool::stealFrom(unsigned thief, std::size_t &task)
+ThreadPool::stealFrom(unsigned thief, Task &task)
 {
     const unsigned n = workers();
     for (unsigned i = 1; i < n; ++i) {
@@ -134,18 +155,18 @@ ThreadPool::stealFrom(unsigned thief, std::size_t &task)
 }
 
 void
-ThreadPool::execute(std::size_t task)
+ThreadPool::execute(const Task &task)
 {
     std::exception_ptr error;
     try {
-        (*body_)(task);
+        (*task.job->body)(task.index);
     } catch (...) {
         error = std::current_exception();
     }
     std::lock_guard<std::mutex> lock(controlMutex_);
     if (error)
-        errors_[task] = error;
-    if (--remaining_ == 0)
+        task.job->errors[task.index] = error;
+    if (--task.job->remaining == 0)
         jobDone_.notify_all();
 }
 

@@ -15,6 +15,11 @@
  * determinism of modeled results is the engine's job (per-unit
  * delta ledgers merged in unit order), so any interleaving the
  * pool produces yields bit-identical counts, stats and traces.
+ *
+ * Since the QueryService landed, run() is also reentrant across
+ * dispatcher threads: concurrent calls are independent jobs whose
+ * tasks share the worker deques, which is how N concurrent query
+ * sessions interleave fairly on one pool (see run()).
  */
 
 #ifndef KHUZDUL_CORE_PARALLEL_THREAD_POOL_HH
@@ -66,37 +71,63 @@ class ThreadPool
      * seeded round-robin across worker deques and stolen as
      * workers drain.  If tasks throw, the exception of the
      * lowest-indexed failing task is rethrown (deterministic
-     * regardless of execution order).  Not reentrant: one run() at
-     * a time per pool.
+     * regardless of execution order).
+     *
+     * Reentrant across *threads*: any number of dispatcher threads
+     * may have run() calls in flight on one pool — each call is an
+     * independent job whose tasks interleave with the others' at
+     * task granularity (concurrent jobs seed from rotated home
+     * queues, so no job monopolizes the workers; this is the
+     * QueryService's fair unit-level interleaving).  Must NOT be
+     * called from one of the pool's own worker threads.
      */
     void run(std::size_t num_tasks,
              const std::function<void(std::size_t)> &body);
 
   private:
+    /**
+     * One run() call in flight: its body, per-task errors and
+     * completion count.  Stack-allocated inside run(), which
+     * outlives every queued Task pointing at it (run() returns only
+     * when remaining hits 0).
+     */
+    struct Job
+    {
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::vector<std::exception_ptr> errors; ///< per task index
+        std::size_t remaining = 0; ///< tasks not yet finished
+    };
+
+    /** One schedulable unit: a task index of one job. */
+    struct Task
+    {
+        Job *job = nullptr;
+        std::size_t index = 0;
+    };
+
     /** One worker's task deque (own end = back, steal end = front). */
     struct WorkerQueue
     {
         std::mutex mutex;
-        std::deque<std::size_t> tasks;
+        std::deque<Task> tasks;
     };
 
     void workerLoop(unsigned self);
-    bool popOwn(unsigned self, std::size_t &task);
-    bool stealFrom(unsigned thief, std::size_t &task);
-    void execute(std::size_t task);
+    bool popOwn(unsigned self, Task &task);
+    bool stealFrom(unsigned thief, Task &task);
+    void execute(const Task &task);
+    bool isWorkerThread() const;
 
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
     std::vector<std::thread> threads_;
 
-    /** Guards the job state below and the cv predicates. */
+    /** Guards the shared state below and the cv predicates. */
     std::mutex controlMutex_;
     std::condition_variable workAvailable_; ///< workers wait here
-    std::condition_variable jobDone_;       ///< run() waits here
+    std::condition_variable jobDone_;       ///< run() calls wait here
 
-    const std::function<void(std::size_t)> *body_ = nullptr;
-    std::vector<std::exception_ptr> errors_; ///< per task index
-    std::size_t queued_ = 0;    ///< tasks sitting in deques
-    std::size_t remaining_ = 0; ///< tasks not yet finished
+    std::size_t queued_ = 0; ///< tasks sitting in deques (all jobs)
+    unsigned seedStart_ = 0; ///< rotating home queue of the next job
     bool stop_ = false;
 };
 

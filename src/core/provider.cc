@@ -92,6 +92,7 @@ EdgeListProvider::resolve(unsigned requester, VertexId v,
     }
     r.kind = ResolutionKind::Remote;
     r.bytes = graph_->edgeListBytes(v);
+    noteRemoteFetch(requester, v);
     // Admission attempt after the fetch.
     if (cache_ && cache_->insert(v)) {
         ++stats.staticCacheInsertions;
@@ -150,6 +151,7 @@ EdgeListProvider::resolveDownOwner(unsigned requester, VertexId v,
     ++stats.reroutedFetches;
     r.kind = ResolutionKind::Remote;
     r.bytes = graph_->edgeListBytes(v);
+    noteRemoteFetch(requester, v);
     if (cache_ && cache_->insert(v)) {
         ++stats.staticCacheInsertions;
         stats.cacheNs += costs_.cacheAdmitNs;

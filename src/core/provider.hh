@@ -24,6 +24,7 @@
 
 #include "core/cache.hh"
 #include "core/horizontal.hh"
+#include "core/residency.hh"
 #include "graph/graph.hh"
 #include "graph/partition.hh"
 #include "sim/cost_model.hh"
@@ -122,7 +123,46 @@ class EdgeListProvider
     const Partition &partition() const { return *partition_; }
     DataCache *cache() { return cache_; }
 
+    /**
+     * Attach the GraphContext's cross-query residency directory
+     * (nullptr detaches).  Every Remote outcome is then also noted
+     * in the directory — host-side observability only: the
+     * resolution chain's outcomes, charges and counters above are
+     * computed before and independently of this hook, so modeled
+     * results never depend on co-running queries.
+     */
+    void setResidency(SharedResidency *residency)
+    {
+        residency_ = residency;
+    }
+
+    /** @name Cross-query counters (host observability)
+     *  Remote fetches noted in the shared directory, and how many
+     *  found the list already fetched by some query.  Touched only
+     *  by the owning unit's thread; folded into RunStats' host
+     *  block after each run. */
+    /// @{
+    std::uint64_t sharedProbes() const { return sharedProbes_; }
+    std::uint64_t sharedHits() const { return sharedHits_; }
+    void
+    resetSharedCounters()
+    {
+        sharedProbes_ = sharedHits_ = 0;
+    }
+    /// @}
+
   private:
+    /** Note a Remote outcome in the shared directory (if attached). */
+    void
+    noteRemoteFetch(unsigned requester, VertexId v)
+    {
+        if (!residency_)
+            return;
+        ++sharedProbes_;
+        if (residency_->noteFetch(requester, v))
+            ++sharedHits_;
+    }
+
     /** Recovery ladder below the cache rung for a permanently-down
      *  owner: local CSR reconstruction, then replica re-fetch. */
     Resolution resolveDownOwner(unsigned requester, VertexId v,
@@ -136,6 +176,9 @@ class EdgeListProvider
     bool horizontalSharing_;
     Costs costs_;
     sim::TraceSink *trace_;
+    SharedResidency *residency_ = nullptr;
+    std::uint64_t sharedProbes_ = 0;
+    std::uint64_t sharedHits_ = 0;
 };
 
 } // namespace core

@@ -1,0 +1,164 @@
+#include "core/service/service.hh"
+
+#include <exception>
+#include <utility>
+
+#include "support/check.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+QueryService::QueryService(GraphContext &context,
+                           const ServiceOptions &options)
+    : context_(&context), options_(options),
+      pool_(ThreadPool::resolveThreadCount(options.hostThreads))
+{
+    KHUZDUL_REQUIRE(options_.maxInFlight >= 1,
+                    "service needs maxInFlight >= 1");
+    dispatchers_.reserve(options_.maxInFlight);
+    for (unsigned d = 0; d < options_.maxInFlight; ++d)
+        dispatchers_.emplace_back([this] { dispatcherLoop(); });
+}
+
+QueryService::~QueryService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &t : dispatchers_)
+        t.join();
+}
+
+std::size_t
+QueryService::submit(const ExtendPlan &plan,
+                     const SessionConfig &session,
+                     sim::TraceSink *sink)
+{
+    std::size_t id;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        KHUZDUL_CHECK(!stopping_,
+                      "submit on a destructing QueryService");
+        id = submittedCount_++;
+        results_.emplace_back();
+        results_.back().id = id;
+        done_.push_back(false);
+        pending_.push_back(PendingQuery{id, plan, session, sink});
+    }
+    workAvailable_.notify_one();
+    return id;
+}
+
+void
+QueryService::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    queryDone_.wait(lock, [this] {
+        return completedCount_ == submittedCount_;
+    });
+}
+
+const QueryResult &
+QueryService::result(std::size_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    KHUZDUL_REQUIRE(id < results_.size(), "unknown query id");
+    KHUZDUL_CHECK(done_[id], "query still in flight; wait() first");
+    return results_[id];
+}
+
+std::size_t
+QueryService::submitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submittedCount_;
+}
+
+std::size_t
+QueryService::completed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completedCount_;
+}
+
+bool
+QueryService::finished(std::size_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return id < done_.size() && done_[id];
+}
+
+unsigned
+QueryService::peakInFlight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peakInFlight_;
+}
+
+void
+QueryService::dispatcherLoop()
+{
+    while (true) {
+        PendingQuery query;
+        std::size_t admission_index;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return stopping_ || !pending_.empty();
+            });
+            if (pending_.empty())
+                return; // stopping and drained
+            // FIFO admission: strictly the submission order.
+            query = std::move(pending_.front());
+            pending_.pop_front();
+            admission_index = admittedCount_++;
+            ++inFlight_;
+            peakInFlight_ = std::max(peakInFlight_, inFlight_);
+        }
+        runOne(std::move(query), admission_index);
+    }
+}
+
+void
+QueryService::runOne(PendingQuery &&query,
+                     std::size_t admission_index)
+{
+    QueryResult result;
+    result.id = query.id;
+    result.admissionIndex = admission_index;
+    Engine engine(*context_, query.session);
+    engine.setHostPool(&pool_);
+    if (query.sink)
+        engine.setTraceSink(query.sink);
+    try {
+        result.count = engine.run(query.plan);
+    } catch (const std::exception &e) {
+        result.failed = true;
+        result.error = e.what();
+    }
+    result.stats = engine.stats();
+    result.modeledJson = engine.stats().toJson(false);
+    result.traceCounts.reserve(sim::kNumPhaseEvents);
+    for (std::size_t e = 0; e < sim::kNumPhaseEvents; ++e)
+        result.traceCounts.push_back(engine.traceCounts().count(
+            static_cast<sim::PhaseEvent>(e)));
+    // Fold the query's attributed ledger into the context's
+    // cumulative one (order-independent sums).
+    context_->absorbTraffic(engine.fabric());
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        results_[query.id] = std::move(result);
+        done_[query.id] = true;
+        ++completedCount_;
+        --inFlight_;
+    }
+    queryDone_.notify_all();
+}
+
+} // namespace core
+} // namespace khuzdul

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * QueryService: the multi-query serving layer (DESIGN.md §10).
+ *
+ * One service wraps one GraphContext and schedules any number of
+ * submitted queries onto a single shared work-stealing ThreadPool:
+ *
+ *   - admission control: at most maxInFlight queries execute at
+ *     once; submissions beyond the bound queue FIFO and are
+ *     admitted strictly in submission order;
+ *   - fair unit-level interleaving: every admitted query is a
+ *     per-query Engine session whose unit tasks run on the shared
+ *     pool, where the pool's rotated seeding interleaves them with
+ *     co-running queries' units at task granularity;
+ *   - cross-query sharing: sessions probe the context's residency
+ *     directory, so the "host" block of each query's stats reports
+ *     how many of its remote fetches a long-lived deployment would
+ *     have served from lists some earlier (or co-running) query
+ *     already pulled in.
+ *
+ * Determinism contract (extends DESIGN.md §8): each query's modeled
+ * results — its count, stats.toJson(false), its fabric ledger and
+ * trace tallies — are bit-identical whether the query runs alone or
+ * inside any workload mix, at any pool width, under any admission
+ * order.  That holds because every modeled charge is sequenced by
+ * the session's own deterministic ledgers (DataCaches, Fabric,
+ * NodeStats, unit trace buffers); the only cross-query state is
+ * host-side observability that no modeled path reads.
+ */
+
+#ifndef KHUZDUL_CORE_SERVICE_SERVICE_HH
+#define KHUZDUL_CORE_SERVICE_SERVICE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/context.hh"
+#include "core/engine.hh"
+#include "core/parallel/thread_pool.hh"
+#include "pattern/plan.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace khuzdul
+{
+namespace core
+{
+
+/** QueryService tunables. */
+struct ServiceOptions
+{
+    /** Queries executing concurrently; submissions beyond the
+     *  bound wait FIFO (>= 1). */
+    unsigned maxInFlight = 4;
+
+    /** Workers of the shared unit pool (0 = all hardware
+     *  threads).  Host-side only: modeled results are identical at
+     *  every width. */
+    unsigned hostThreads = 0;
+};
+
+/** Everything one finished query left behind. */
+struct QueryResult
+{
+    /** Submission id (also the index into results()). */
+    std::size_t id = 0;
+
+    /** Embedding count (0 when failed). */
+    Count count = 0;
+
+    /** The session's cumulative stats, host block included. */
+    sim::RunStats stats;
+
+    /** stats.toJson(false): the purely modeled dump — the surface
+     *  the determinism contract is stated (and tested) over. */
+    std::string modeledJson;
+
+    /** Per-event tallies of the session's trace stream. */
+    std::vector<std::uint64_t> traceCounts;
+
+    /** Order the query was admitted in (FIFO => equals id). */
+    std::size_t admissionIndex = 0;
+
+    /** Set when the session threw (e.g. an injected fault
+     *  exhausted its retry budget); error holds the message. */
+    bool failed = false;
+    std::string error;
+};
+
+/**
+ * A long-lived multi-query scheduler over one GraphContext.
+ * Thread-safe: submit()/wait() may be called from any thread.
+ */
+class QueryService
+{
+  public:
+    QueryService(GraphContext &context,
+                 const ServiceOptions &options = {});
+
+    /** Drains in-flight queries, then joins the dispatchers. */
+    ~QueryService();
+
+    QueryService(const QueryService &) = delete;
+    QueryService &operator=(const QueryService &) = delete;
+
+    GraphContext &context() { return *context_; }
+    const ServiceOptions &options() const { return options_; }
+
+    /**
+     * Enqueue a query; returns its id.  The plan is copied.  An
+     * optional @p sink observes the session's trace stream (it must
+     * outlive completion; concurrent queries get distinct sessions,
+     * so distinct sinks never interleave).
+     */
+    std::size_t submit(const ExtendPlan &plan,
+                       const SessionConfig &session = {},
+                       sim::TraceSink *sink = nullptr);
+
+    /** Block until every submitted query has completed. */
+    void wait();
+
+    /** Result of query @p id (wait() first, or poll finished()). */
+    const QueryResult &result(std::size_t id) const;
+
+    /** All results so far, indexed by id (wait() first for a full
+     *  workload view). */
+    const std::vector<QueryResult> &results() const
+    {
+        return results_;
+    }
+
+    std::size_t submitted() const;
+    std::size_t completed() const;
+    bool finished(std::size_t id) const;
+
+    /** Most queries observed executing at once (<= maxInFlight;
+     *  admission-control observability). */
+    unsigned peakInFlight() const;
+
+  private:
+    struct PendingQuery
+    {
+        std::size_t id = 0;
+        ExtendPlan plan;
+        SessionConfig session;
+        sim::TraceSink *sink = nullptr;
+    };
+
+    void dispatcherLoop();
+    void runOne(PendingQuery &&query, std::size_t admission_index);
+
+    GraphContext *context_;
+    ServiceOptions options_;
+    ThreadPool pool_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workAvailable_; ///< dispatchers wait
+    std::condition_variable queryDone_;     ///< wait() waits
+    std::deque<PendingQuery> pending_;      ///< FIFO beyond the bound
+    std::vector<QueryResult> results_;
+    std::vector<bool> done_;
+    std::size_t submittedCount_ = 0;
+    std::size_t completedCount_ = 0;
+    std::size_t admittedCount_ = 0;
+    unsigned inFlight_ = 0;
+    unsigned peakInFlight_ = 0;
+    bool stopping_ = false;
+
+    /** maxInFlight dispatcher threads: each admits the FIFO head,
+     *  runs it as a session on the shared pool, repeats. */
+    std::vector<std::thread> dispatchers_;
+};
+
+} // namespace core
+} // namespace khuzdul
+
+#endif // KHUZDUL_CORE_SERVICE_SERVICE_HH

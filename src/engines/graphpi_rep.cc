@@ -12,7 +12,15 @@ namespace engines
 GraphPiRepEngine::GraphPiRepEngine(const Graph &g,
                                    const GraphPiRepConfig &config)
     : graph_(&g), config_(config),
-      profile_(GraphProfile::fromGraph(g))
+      ownedProfile_(std::make_unique<GraphProfile>(
+          GraphProfile::fromGraph(g))),
+      profile_(ownedProfile_.get())
+{}
+
+GraphPiRepEngine::GraphPiRepEngine(core::GraphContext &context,
+                                   const GraphPiRepConfig &config)
+    : graph_(&context.graph()), config_(config),
+      profile_(&context.profile())
 {}
 
 GraphPiRepResult
@@ -24,7 +32,7 @@ GraphPiRepEngine::count(const Pattern &p, const PlanOptions &options)
         << "B) exceeds per-node memory ("
         << config_.cluster.memoryBytesPerNode << "B)");
 
-    const ExtendPlan plan = compileGraphPi(p, profile_, options);
+    const ExtendPlan plan = compileGraphPi(p, *profile_, options);
     const NodeId nodes = config_.cluster.numNodes;
     const unsigned chunks_per_node = config_.taskChunksPerNode;
     const unsigned total_chunks = nodes * chunks_per_node;

@@ -14,6 +14,9 @@
 #ifndef KHUZDUL_ENGINES_GRAPHPI_REP_HH
 #define KHUZDUL_ENGINES_GRAPHPI_REP_HH
 
+#include <memory>
+
+#include "core/context.hh"
 #include "core/plan_runner.hh"
 #include "graph/graph.hh"
 #include "pattern/planner.hh"
@@ -57,6 +60,11 @@ class GraphPiRepEngine
   public:
     GraphPiRepEngine(const Graph &g, const GraphPiRepConfig &config);
 
+    /** Re-seated form: shares the context's planner profile
+     *  (computed once per graph) instead of recomputing it. */
+    GraphPiRepEngine(core::GraphContext &context,
+                     const GraphPiRepConfig &config);
+
     /**
      * Count embeddings of @p p.  Throws FatalError when the
      * replicated graph exceeds per-node memory.
@@ -67,7 +75,10 @@ class GraphPiRepEngine
   private:
     const Graph *graph_;
     GraphPiRepConfig config_;
-    GraphProfile profile_;
+
+    /** Set iff this engine computed its own profile (legacy ctor). */
+    std::unique_ptr<GraphProfile> ownedProfile_;
+    const GraphProfile *profile_;
 };
 
 } // namespace engines

@@ -51,8 +51,25 @@ class AccessCollector : public core::RunnerHooks
 GThinkerEngine::GThinkerEngine(const Graph &g,
                                const GThinkerConfig &config)
     : graph_(&g), config_(config),
-      partition_(g, config.cluster.numNodes, 1)
+      ownedPartition_(std::make_unique<Partition>(
+          g, config.cluster.numNodes, 1)),
+      partition_(ownedPartition_.get())
 {}
+
+GThinkerEngine::GThinkerEngine(core::GraphContext &context,
+                               const GThinkerConfig &config)
+    : graph_(&context.graph()), config_(config)
+{
+    const Partition &shared = context.partition();
+    if (shared.numNodes() == config.cluster.numNodes
+        && shared.socketsPerNode() == 1) {
+        partition_ = &shared;
+    } else {
+        ownedPartition_ = std::make_unique<Partition>(
+            *graph_, config.cluster.numNodes, 1);
+        partition_ = ownedPartition_.get();
+    }
+}
 
 GThinkerResult
 GThinkerEngine::count(const Pattern &p, const PlanOptions &options)
@@ -82,7 +99,7 @@ GThinkerEngine::count(const Pattern &p, const PlanOptions &options)
         // minus horizontal sharing; its task<->data map update is
         // the (expensive) per-probe cost.
         core::EdgeListProvider provider(
-            *graph_, partition_, &cache, /*horizontal_sharing=*/false,
+            *graph_, *partition_, &cache, /*horizontal_sharing=*/false,
             {.cacheProbeNs = cost.gthinkerMapUpdateNs * contention,
              .cacheAdmitNs = 0, .hashProbeNs = 0});
         double compute_ns = 0;
@@ -90,7 +107,7 @@ GThinkerEngine::count(const Pattern &p, const PlanOptions &options)
         std::uint64_t subgraph_bytes_total = 0;
         std::uint64_t tasks = 0;
 
-        for (const VertexId root : partition_.ownedVertices(n)) {
+        for (const VertexId root : partition_->ownedVertices(n)) {
             AccessCollector collector;
             const VertexId roots[1] = {root};
             const auto work = core::runPlanDfs(*graph_, plan,

@@ -15,6 +15,9 @@
 #ifndef KHUZDUL_ENGINES_GTHINKER_HH
 #define KHUZDUL_ENGINES_GTHINKER_HH
 
+#include <memory>
+
+#include "core/context.hh"
 #include "core/plan_runner.hh"
 #include "graph/graph.hh"
 #include "graph/partition.hh"
@@ -67,6 +70,17 @@ class GThinkerEngine
   public:
     GThinkerEngine(const Graph &g, const GThinkerConfig &config);
 
+    /**
+     * Re-seated form: run over a GraphContext's graph, sharing its
+     * partition when the geometry matches G-thinker's single-socket
+     * deployment (same node count, one sub-partition per node);
+     * otherwise a private single-socket partition is built — the
+     * baseline has no NUMA support, so it can never reuse a
+     * NUMA-split partition.
+     */
+    GThinkerEngine(core::GraphContext &context,
+                   const GThinkerConfig &config);
+
     /** Count embeddings of @p p on the partitioned graph. */
     GThinkerResult count(const Pattern &p,
                          const PlanOptions &options = {});
@@ -74,7 +88,10 @@ class GThinkerEngine
   private:
     const Graph *graph_;
     GThinkerConfig config_;
-    Partition partition_;
+
+    /** Set iff the context's partition could not be shared. */
+    std::unique_ptr<Partition> ownedPartition_;
+    const Partition *partition_;
 };
 
 } // namespace engines

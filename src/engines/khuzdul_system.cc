@@ -9,7 +9,14 @@ KhuzdulSystem::KhuzdulSystem(const Graph &g,
                              const core::EngineConfig &config,
                              CompilerStyle style)
     : engine_(std::make_unique<core::Engine>(g, config)), style_(style),
-      profile_(GraphProfile::fromGraph(g))
+      profile_(&engine_->context().profile())
+{}
+
+KhuzdulSystem::KhuzdulSystem(core::GraphContext &context,
+                             const core::SessionConfig &session,
+                             CompilerStyle style)
+    : engine_(std::make_unique<core::Engine>(context, session)),
+      style_(style), profile_(&context.profile())
 {}
 
 ExtendPlan
@@ -17,7 +24,7 @@ KhuzdulSystem::compile(const Pattern &p, const PlanOptions &options) const
 {
     if (style_ == CompilerStyle::Automine)
         return compileAutomine(p, options);
-    return compileGraphPi(p, profile_, options);
+    return compileGraphPi(p, *profile_, options);
 }
 
 Count

@@ -32,6 +32,13 @@ class KhuzdulSystem
     KhuzdulSystem(const Graph &g, const core::EngineConfig &config,
                   CompilerStyle style);
 
+    /** Session form: run over a shared GraphContext (the planner
+     *  profile is the context's shared one, computed once per
+     *  graph rather than per system). */
+    KhuzdulSystem(core::GraphContext &context,
+                  const core::SessionConfig &session,
+                  CompilerStyle style);
+
     /** Compile @p p in this system's style. */
     ExtendPlan compile(const Pattern &p,
                        const PlanOptions &options = {}) const;
@@ -70,7 +77,9 @@ class KhuzdulSystem
   private:
     std::unique_ptr<core::Engine> engine_;
     CompilerStyle style_;
-    GraphProfile profile_;
+
+    /** The engine's context's shared profile (never owned). */
+    const GraphProfile *profile_;
 };
 
 } // namespace engines

@@ -56,8 +56,25 @@ class MigrationTracker : public core::RunnerHooks
 MoveComputationEngine::MoveComputationEngine(
     const Graph &g, const MoveComputationConfig &config)
     : graph_(&g), config_(config),
-      partition_(g, config.cluster.numNodes, 1)
+      ownedPartition_(std::make_unique<Partition>(
+          g, config.cluster.numNodes, 1)),
+      partition_(ownedPartition_.get())
 {}
+
+MoveComputationEngine::MoveComputationEngine(
+    core::GraphContext &context, const MoveComputationConfig &config)
+    : graph_(&context.graph()), config_(config)
+{
+    const Partition &shared = context.partition();
+    if (shared.numNodes() == config.cluster.numNodes
+        && shared.socketsPerNode() == 1) {
+        partition_ = &shared;
+    } else {
+        ownedPartition_ = std::make_unique<Partition>(
+            *graph_, config.cluster.numNodes, 1);
+        partition_ = ownedPartition_.get();
+    }
+}
 
 Count
 MoveComputationEngine::run(const Pattern &p,
@@ -74,13 +91,13 @@ MoveComputationEngine::run(const Pattern &p,
     result.stats.nodes.resize(nodes);
     // Owner classification without cache or horizontal steps: a
     // moving-computation engine fetches nothing, it relocates.
-    core::EdgeListProvider provider(*graph_, partition_, nullptr,
+    core::EdgeListProvider provider(*graph_, *partition_, nullptr,
                                     false, {});
     std::int64_t raw = 0;
     for (NodeId n = 0; n < nodes; ++n) {
         sim::NodeStats &st = result.stats.nodes[n];
         MigrationTracker tracker(provider, st, n);
-        const auto &roots = partition_.ownedVertices(n);
+        const auto &roots = partition_->ownedVertices(n);
         const auto work = core::runPlanDfs(
             *graph_, plan, {roots.data(), roots.size()}, nullptr,
             &tracker);

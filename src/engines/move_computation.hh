@@ -13,6 +13,9 @@
 #ifndef KHUZDUL_ENGINES_MOVE_COMPUTATION_HH
 #define KHUZDUL_ENGINES_MOVE_COMPUTATION_HH
 
+#include <memory>
+
+#include "core/context.hh"
 #include "core/plan_runner.hh"
 #include "graph/graph.hh"
 #include "graph/partition.hh"
@@ -58,6 +61,12 @@ class MoveComputationEngine
     MoveComputationEngine(const Graph &g,
                           const MoveComputationConfig &config);
 
+    /** Re-seated form: shares the context's partition when its
+     *  geometry matches this single-socket deployment, else builds
+     *  a private one over the context's graph. */
+    MoveComputationEngine(core::GraphContext &context,
+                          const MoveComputationConfig &config);
+
     Count run(const Pattern &p, MoveComputationResult &result,
               const PlanOptions &options = {});
 
@@ -68,7 +77,10 @@ class MoveComputationEngine
   private:
     const Graph *graph_;
     MoveComputationConfig config_;
-    Partition partition_;
+
+    /** Set iff the context's partition could not be shared. */
+    std::unique_ptr<Partition> ownedPartition_;
+    const Partition *partition_;
 };
 
 } // namespace engines

@@ -20,8 +20,20 @@ SingleMachineEngine::SingleMachineEngine(const Graph &g,
     : graph_(&g), style_(style), config_(config)
 {
     KHUZDUL_REQUIRE(config.cores >= 1, "need at least one core");
+    if (style_ == SingleMachineStyle::PangolinLike) {
+        ownedOriented_ = std::make_unique<Graph>(graph::orient(g));
+        oriented_ = ownedOriented_.get();
+    }
+}
+
+SingleMachineEngine::SingleMachineEngine(
+    core::GraphContext &context, SingleMachineStyle style,
+    const SingleMachineConfig &config)
+    : graph_(&context.graph()), style_(style), config_(config)
+{
+    KHUZDUL_REQUIRE(config.cores >= 1, "need at least one core");
     if (style_ == SingleMachineStyle::PangolinLike)
-        oriented_ = std::make_unique<Graph>(graph::orient(g));
+        oriented_ = &context.orientedGraph();
 }
 
 bool
@@ -45,7 +57,7 @@ SingleMachineEngine::count(const Pattern &p, const PlanOptions &options)
         // Orientation (Pangolin, §7.2): on the degree-oriented DAG
         // every clique matches exactly once in ascending order, so
         // no symmetry-breaking filters are needed at all.
-        g = oriented_.get();
+        g = oriented_;
         PlanOptions opts = options;
         opts.symmetryBreaking = false;
         opts.useIep = false;

@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "core/context.hh"
 #include "core/plan_runner.hh"
 #include "graph/graph.hh"
 #include "pattern/planner.hh"
@@ -61,6 +62,13 @@ class SingleMachineEngine
     SingleMachineEngine(const Graph &g, SingleMachineStyle style,
                         const SingleMachineConfig &config);
 
+    /** Re-seated form: a Pangolin-style engine borrows the
+     *  context's shared degree-oriented DAG (built once per graph)
+     *  instead of orienting a private copy. */
+    SingleMachineEngine(core::GraphContext &context,
+                        SingleMachineStyle style,
+                        const SingleMachineConfig &config);
+
     /** Count embeddings of @p p (non-induced by default). */
     SingleMachineResult count(const Pattern &p,
                               const PlanOptions &options = {});
@@ -74,7 +82,12 @@ class SingleMachineEngine
     const Graph *graph_;
     SingleMachineStyle style_;
     SingleMachineConfig config_;
-    std::unique_ptr<Graph> oriented_;
+
+    /** Owned orientation (legacy ctor only). */
+    std::unique_ptr<Graph> ownedOriented_;
+
+    /** The DAG count() matches cliques on (owned or shared). */
+    const Graph *oriented_ = nullptr;
 };
 
 /** True when @p p is a complete graph (clique) pattern. */

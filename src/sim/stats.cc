@@ -201,6 +201,8 @@ RunStats::accumulate(const RunStats &other)
     startupNs += other.startupNs;
     hostThreads = std::max(hostThreads, other.hostThreads);
     hostWallNs += other.hostWallNs;
+    sharedCacheProbes += other.sharedCacheProbes;
+    sharedCacheHits += other.sharedCacheHits;
 }
 
 std::string
@@ -249,9 +251,14 @@ RunStats::toJson(bool include_host) const
        << ", \"rerouted\": " << faults_rerouted
        << ", \"reconstructed\": " << faults_reconstructed
        << ", \"recovery_ns\": " << totalRecoveryNs() << "},\n";
-    if (include_host && hostThreads > 0)
+    if (include_host && hostThreads > 0) {
         os << "  \"host\": {\"threads\": " << hostThreads
-           << ", \"wall_ns\": " << hostWallNs << "},\n";
+           << ", \"wall_ns\": " << hostWallNs;
+        if (sharedCacheProbes > 0)
+            os << ", \"shared_cache_probes\": " << sharedCacheProbes
+               << ", \"shared_cache_hits\": " << sharedCacheHits;
+        os << "},\n";
+    }
     os << "  \"nodes\": [";
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         const NodeStats &n = nodes[i];

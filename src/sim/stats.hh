@@ -115,6 +115,17 @@ struct RunStats
 
     /** Accumulated host wall-clock across run() calls (ns). */
     double hostWallNs = 0;
+
+    /**
+     * Cross-query shared-cache counters (core/service): probes of
+     * the GraphContext's residency directory and how many found a
+     * list already fetched by *some* query.  Contents of that
+     * directory depend on co-runners and admission order, so these
+     * live in the host block — the modeled cache counters above are
+     * the per-query deterministic ledger.
+     */
+    std::uint64_t sharedCacheProbes = 0;
+    std::uint64_t sharedCacheHits = 0;
     /// @}
 
     /** Makespan: slowest node plus startup. */

@@ -152,6 +152,65 @@ TEST(Cli, MotifsAndFsmRun)
     EXPECT_NE(fsm.second.find("frequent patterns"), std::string::npos);
 }
 
+TEST(Cli, ServeRunsQueriesConcurrently)
+{
+    const auto [code, out] =
+        runCli("serve --graph rmat:800:4000:0.5:9 "
+               "--query triangle --query triangle --query diamond "
+               "--nodes 3 --max-in-flight 2");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("query 0"), std::string::npos);
+    EXPECT_NE(out.find("query 2"), std::string::npos);
+    EXPECT_NE(out.find("3 queries"), std::string::npos);
+    EXPECT_NE(out.find("cross-query shared-cache hits"),
+              std::string::npos);
+    // The determinism contract in action: the identical queries 0
+    // and 1 print identical count + modeled-time lines.
+    const auto line_of = [&out](const std::string &prefix) {
+        const std::size_t at = out.find(prefix);
+        EXPECT_NE(at, std::string::npos) << prefix;
+        return out.substr(at + prefix.size(),
+                          out.find('\n', at) - at - prefix.size());
+    };
+    EXPECT_EQ(line_of("query 0"), line_of("query 1"));
+}
+
+TEST(Cli, ServeCountsMatchSingleQueryCount)
+{
+    const auto serve =
+        runCli("serve --graph er:500:2000:3 --query clique4 "
+               "--nodes 2");
+    const auto count =
+        runCli("count --graph er:500:2000:3 --pattern clique4 "
+               "--nodes 2");
+    EXPECT_EQ(serve.first, 0);
+    EXPECT_EQ(count.first, 0);
+    // `count` prints "N embeddings of ..."; the serve row must
+    // contain the same formatted N.
+    const std::size_t end = count.second.find(" embeddings of");
+    ASSERT_NE(end, std::string::npos);
+    const std::string n = count.second.substr(0, end);
+    EXPECT_NE(serve.second.find(n + " embeddings"),
+              std::string::npos)
+        << serve.second;
+}
+
+TEST(Cli, ServeRequiresAQuery)
+{
+    const auto [code, out] =
+        runCli("serve --graph er:200:800:3");
+    EXPECT_EQ(code, 1);
+    EXPECT_NE(out.find("--query"), std::string::npos);
+}
+
+TEST(Cli, HelpDocumentsServe)
+{
+    const auto [code, out] = runCli("help serve");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("--max-in-flight"), std::string::npos);
+    EXPECT_NE(out.find("bit-identical"), std::string::npos);
+}
+
 TEST(Cli, StatsJsonWritesMachineReadableDump)
 {
     const std::string path = testing::TempDir() + "/cli_stats.json";

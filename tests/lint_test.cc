@@ -208,6 +208,33 @@ TEST(LintThread, ParallelRuntimeDirIsExempt)
     EXPECT_EQ(liveCount(r, "thread-primitive"), 0);
 }
 
+TEST(LintThread, ServiceRuntimeDirIsExempt)
+{
+    // The service layer is host-side scheduling machinery like the
+    // pool: thread primitives are its job, not a contract breach.
+    const auto r = run("src/core/service/service.cc",
+                       "std::mutex m;\n"
+                       "std::condition_variable cv;\n"
+                       "std::thread dispatcher;\n");
+    EXPECT_EQ(liveCount(r, "thread-primitive"), 0);
+}
+
+TEST(LintThread, ServiceRuntimeKeepsModeledRules)
+{
+    // Only thread-primitive is relaxed there: the service must not
+    // read wall clocks or iterate unordered containers any more
+    // than the engine may.
+    const auto r = run(
+        "src/core/service/service.cc",
+        "auto t = std::chrono::steady_clock::now();\n"
+        "for (const auto &kv : map_) use(kv);\n");
+    EXPECT_EQ(liveCount(r, "wall-clock"), 1);
+    const auto r2 = run("src/core/service/service.hh",
+                        "std::unordered_map<int, int> results_;\n"
+                        "for (const auto &kv : results_) emit(kv);\n");
+    EXPECT_EQ(liveCount(r2, "unordered-iter"), 1);
+}
+
 TEST(LintThread, PlainIdentifiersDoNotMatch)
 {
     const auto r = run("src/core/engine.cc",

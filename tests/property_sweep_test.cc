@@ -9,9 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
+#include <vector>
 
 #include "core/engine.hh"
+#include "core/service/service.hh"
 #include "engines/graphpi_rep.hh"
 #include "engines/gthinker.hh"
 #include "engines/khuzdul_system.hh"
@@ -415,6 +418,81 @@ INSTANTIATE_TEST_SUITE_P(
                         "down:node=3:from=0",
                         "drop:*-*:msg=1:count=4"),
         testing::Values(1u, 2u, 4u, 8u)));
+
+/**
+ * Service-level determinism (DESIGN.md §10): every query's modeled
+ * results through the QueryService — count, stats.toJson(false),
+ * phase-event tallies — are bit-identical to a solo engine run of
+ * the same plan, regardless of the co-runner mix, the admission
+ * order, the admission bound, or the shared pool's width.  The
+ * cross-query residency directory may only ever surface in the
+ * excluded host block.
+ */
+using ServiceAxis = std::tuple<unsigned /*hostThreads*/,
+                               unsigned /*maxInFlight*/,
+                               bool /*reversed submission*/>;
+
+class ServiceSweep : public testing::TestWithParam<ServiceAxis>
+{
+};
+
+TEST_P(ServiceSweep, PerQueryModeledResultsAreMixInvariant)
+{
+    const auto [threads, in_flight, reversed] = GetParam();
+    const Graph &g = sweepGraph();
+    core::GraphSetup setup;
+    setup.cluster = sim::ClusterConfig::paperDefault(4);
+    setup.cacheDegreeThreshold = 8;
+    core::SessionConfig session;
+    session.chunkBytes = 16 << 10;
+
+    // The workload mixes duplicates so queries genuinely co-run
+    // against both distinct and identical plans.
+    std::vector<Pattern> workload = {
+        Pattern::triangle(),  Pattern::clique(4),
+        Pattern::cycleOf(4),  Pattern::diamond(),
+        Pattern::triangle(),  Pattern::clique(4)};
+    if (reversed)
+        std::reverse(workload.begin(), workload.end());
+
+    core::GraphContext context(g, setup);
+    core::ServiceOptions options;
+    options.maxInFlight = in_flight;
+    options.hostThreads = threads;
+    core::QueryService service(context, options);
+    for (const Pattern &p : workload)
+        service.submit(compileAutomine(p, {}), session);
+    service.wait();
+
+    for (std::size_t id = 0; id < workload.size(); ++id) {
+        const Pattern &p = workload[id];
+        const core::QueryResult &query = service.result(id);
+        ASSERT_FALSE(query.failed) << query.error;
+        EXPECT_EQ(query.count, oracle(p)) << p.toString();
+
+        // Solo reference: one fresh session over a private context.
+        core::GraphContext solo_context(g, setup);
+        core::Engine solo(solo_context, session);
+        ASSERT_EQ(solo.run(compileAutomine(p, {})), oracle(p))
+            << p.toString();
+        EXPECT_EQ(query.modeledJson, solo.stats().toJson(false))
+            << p.toString();
+        ASSERT_EQ(query.traceCounts.size(), sim::kNumPhaseEvents);
+        for (std::size_t e = 0; e < sim::kNumPhaseEvents; ++e)
+            EXPECT_EQ(query.traceCounts[e],
+                      solo.traceCounts().count(
+                          static_cast<sim::PhaseEvent>(e)))
+                << p.toString() << " "
+                << sim::phaseEventName(
+                       static_cast<sim::PhaseEvent>(e));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MixesAndWidths, ServiceSweep,
+    testing::Combine(testing::Values(1u, 2u, 4u),
+                     testing::Values(1u, 3u),
+                     testing::Values(false, true)));
 
 } // namespace
 } // namespace khuzdul

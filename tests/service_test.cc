@@ -1,0 +1,230 @@
+/**
+ * @file
+ * QueryService tests: admission control (bounded in-flight, FIFO
+ * admission order), per-query results matching a solo engine run
+ * bit-for-bit, cross-query shared-cache accounting, trace sink
+ * wiring, and the reset-vs-clear cache contract on GraphContext.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/service/service.hh"
+#include "graph/generators.hh"
+#include "pattern/planner.hh"
+#include "sim/trace.hh"
+
+namespace khuzdul
+{
+namespace
+{
+
+const Graph &
+serviceGraph()
+{
+    static const Graph g = gen::rmat(300, 2200, 0.55, 0.2, 0.2, 77);
+    return g;
+}
+
+core::GraphSetup
+serviceSetup()
+{
+    core::GraphSetup setup;
+    setup.cluster = sim::ClusterConfig::paperDefault(4);
+    setup.cacheDegreeThreshold = 8;
+    return setup;
+}
+
+std::vector<Pattern>
+workloadPatterns()
+{
+    return {Pattern::triangle(), Pattern::clique(4),
+            Pattern::cycleOf(4), Pattern::diamond()};
+}
+
+TEST(QueryService, CompletesEveryQueryWithFifoAdmission)
+{
+    core::GraphContext context(serviceGraph(), serviceSetup());
+    core::ServiceOptions options;
+    options.maxInFlight = 2;
+    core::QueryService service(context, options);
+
+    const auto patterns = workloadPatterns();
+    std::vector<std::size_t> ids;
+    for (int round = 0; round < 3; ++round)
+        for (const Pattern &p : patterns)
+            ids.push_back(service.submit(compileAutomine(p, {})));
+    service.wait();
+
+    EXPECT_EQ(service.submitted(), ids.size());
+    EXPECT_EQ(service.completed(), ids.size());
+    // Admission control: never more than the bound in flight.
+    EXPECT_GE(service.peakInFlight(), 1u);
+    EXPECT_LE(service.peakInFlight(), options.maxInFlight);
+    for (const std::size_t id : ids) {
+        EXPECT_TRUE(service.finished(id));
+        const core::QueryResult &query = service.result(id);
+        EXPECT_FALSE(query.failed) << query.error;
+        // FIFO: queries are admitted strictly in submission order.
+        EXPECT_EQ(query.admissionIndex, query.id);
+    }
+}
+
+TEST(QueryService, ResultsMatchSoloEngineBitForBit)
+{
+    core::GraphContext context(serviceGraph(), serviceSetup());
+    core::QueryService service(context);
+
+    const auto patterns = workloadPatterns();
+    for (const Pattern &p : patterns)
+        service.submit(compileAutomine(p, {}));
+    service.wait();
+
+    for (std::size_t id = 0; id < patterns.size(); ++id) {
+        // The solo reference: a fresh session over its own context
+        // with the same graph-half and session-half configuration.
+        core::GraphContext solo_context(serviceGraph(),
+                                        serviceSetup());
+        core::Engine solo(solo_context);
+        const Count expected =
+            solo.run(compileAutomine(patterns[id], {}));
+
+        const core::QueryResult &query = service.result(id);
+        EXPECT_EQ(query.count, expected)
+            << patterns[id].toString();
+        EXPECT_EQ(query.modeledJson, solo.stats().toJson(false))
+            << patterns[id].toString();
+        ASSERT_EQ(query.traceCounts.size(), sim::kNumPhaseEvents);
+        for (std::size_t e = 0; e < sim::kNumPhaseEvents; ++e)
+            EXPECT_EQ(query.traceCounts[e],
+                      solo.traceCounts().count(
+                          static_cast<sim::PhaseEvent>(e)))
+                << patterns[id].toString() << " "
+                << sim::phaseEventName(
+                       static_cast<sim::PhaseEvent>(e));
+    }
+}
+
+TEST(QueryService, SharedCacheAccountingAccumulates)
+{
+    core::GraphContext context(serviceGraph(), serviceSetup());
+    core::ServiceOptions options;
+    // Serial admission makes the hit pattern easy to reason about:
+    // the second identical query probes lists the first pulled in.
+    options.maxInFlight = 1;
+    core::QueryService service(context, options);
+
+    const auto plan = compileAutomine(Pattern::clique(4), {});
+    service.submit(plan);
+    service.submit(plan);
+    service.wait();
+
+    const auto &first = service.result(0);
+    const auto &second = service.result(1);
+    // Modeled results are identical — sharing is host-side only.
+    EXPECT_EQ(first.count, second.count);
+    EXPECT_EQ(first.modeledJson, second.modeledJson);
+
+    // The directory was probed, and the re-run query hit it.
+    EXPECT_GT(context.crossQueryProbes(), 0u);
+    EXPECT_GT(second.stats.sharedCacheHits, 0u);
+    EXPECT_GE(second.stats.sharedCacheHits,
+              first.stats.sharedCacheHits);
+    // Per-query tallies partition the directory-wide counters.
+    EXPECT_EQ(first.stats.sharedCacheProbes
+                  + second.stats.sharedCacheProbes,
+              context.crossQueryProbes());
+    EXPECT_EQ(first.stats.sharedCacheHits
+                  + second.stats.sharedCacheHits,
+              context.crossQueryHits());
+
+    // clearCaches() empties the directory for a cold restart.
+    context.clearCaches();
+    EXPECT_EQ(context.crossQueryProbes(), 0u);
+    EXPECT_EQ(context.crossQueryHits(), 0u);
+    EXPECT_EQ(context.sharedTotalBytes(), 0u);
+}
+
+TEST(QueryService, AbsorbsEveryQuerysFabricTraffic)
+{
+    core::GraphContext context(serviceGraph(), serviceSetup());
+    core::QueryService service(context);
+    for (const Pattern &p : workloadPatterns())
+        service.submit(compileAutomine(p, {}));
+    service.wait();
+
+    // The context's ledger is the sum of every session's fabric;
+    // solo runs of the same queries reproduce it exactly.
+    std::uint64_t expected_bytes = 0;
+    for (const Pattern &p : workloadPatterns()) {
+        core::GraphContext solo_context(serviceGraph(),
+                                        serviceSetup());
+        core::Engine solo(solo_context);
+        solo.run(compileAutomine(p, {}));
+        expected_bytes += solo.fabric().totalBytes();
+    }
+    EXPECT_GT(expected_bytes, 0u);
+    EXPECT_EQ(context.sharedTotalBytes(), expected_bytes);
+}
+
+TEST(QueryService, TraceSinkObservesTheQuerysStream)
+{
+    core::GraphContext context(serviceGraph(), serviceSetup());
+    core::QueryService service(context);
+
+    sim::CountingTraceSink sink;
+    const auto plan = compileAutomine(Pattern::triangle(), {});
+    const std::size_t id = service.submit(plan, {}, &sink);
+    service.wait();
+
+    const core::QueryResult &query = service.result(id);
+    EXPECT_GT(sink.total(), 0u);
+    for (std::size_t e = 0; e < sim::kNumPhaseEvents; ++e)
+        EXPECT_EQ(sink.count(static_cast<sim::PhaseEvent>(e)),
+                  query.traceCounts[e])
+            << sim::phaseEventName(static_cast<sim::PhaseEvent>(e));
+}
+
+TEST(QueryService, DestructorDrainsPendingQueries)
+{
+    core::GraphContext context(serviceGraph(), serviceSetup());
+    std::uint64_t absorbed = 0;
+    {
+        core::ServiceOptions options;
+        options.maxInFlight = 1;
+        core::QueryService service(context, options);
+        for (int i = 0; i < 6; ++i)
+            service.submit(compileAutomine(Pattern::triangle(), {}));
+        // No wait(): destruction must run everything queued.
+    }
+    absorbed = context.sharedTotalBytes();
+    EXPECT_GT(absorbed, 0u);
+}
+
+TEST(QueryService, PerQueryTunablesAreHonored)
+{
+    core::GraphContext context(serviceGraph(), serviceSetup());
+    core::QueryService service(context);
+
+    // Two sessions of the same plan with different chunk budgets
+    // model different executions — the session half of the config
+    // is genuinely per-query.
+    core::SessionConfig coarse;
+    coarse.chunkBytes = 1 << 20;
+    core::SessionConfig fine;
+    fine.chunkBytes = 2 << 10;
+    const auto plan = compileAutomine(Pattern::clique(4), {});
+    const std::size_t a = service.submit(plan, coarse);
+    const std::size_t b = service.submit(plan, fine);
+    service.wait();
+
+    EXPECT_EQ(service.result(a).count, service.result(b).count);
+    EXPECT_NE(service.result(a).modeledJson,
+              service.result(b).modeledJson);
+}
+
+} // namespace
+} // namespace khuzdul

@@ -12,6 +12,8 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/parallel/thread_pool.hh"
@@ -88,6 +90,58 @@ TEST(ThreadPool, LowestIndexedExceptionWins)
     std::atomic<int> ran{0};
     pool.run(8, [&](std::size_t) { ++ran; });
     EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, RunIsReentrantAcrossClientThreads)
+{
+    // The service layer dispatches several engine sessions onto one
+    // shared pool concurrently: run() must be callable from many
+    // client threads at once, and every client must see exactly its
+    // own tasks complete.
+    core::ThreadPool pool(4);
+    constexpr std::size_t kClients = 6;
+    constexpr std::size_t kTasks = 96;
+    constexpr int kRounds = 3;
+    std::vector<std::vector<int>> hits(
+        kClients, std::vector<int>(kTasks, 0));
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c)
+        clients.emplace_back([&hits, &pool, c] {
+            for (int round = 0; round < kRounds; ++round)
+                pool.run(kTasks,
+                         [&hits, c](std::size_t i) { ++hits[c][i]; });
+        });
+    for (auto &client : clients)
+        client.join();
+    for (std::size_t c = 0; c < kClients; ++c)
+        for (std::size_t i = 0; i < kTasks; ++i)
+            EXPECT_EQ(hits[c][i], kRounds) << c << ":" << i;
+}
+
+TEST(ThreadPool, ConcurrentClientExceptionsStayIsolated)
+{
+    // One client's failing job must not poison a co-running job.
+    core::ThreadPool pool(4);
+    std::atomic<int> good{0};
+    std::string thrown;
+    std::thread bad([&pool, &thrown] {
+        try {
+            pool.run(32, [](std::size_t i) {
+                if (i == 7)
+                    throw std::runtime_error("task 7");
+            });
+        } catch (const std::runtime_error &e) {
+            thrown = e.what();
+        }
+    });
+    std::thread fine([&pool, &good] {
+        for (int round = 0; round < 8; ++round)
+            pool.run(32, [&good](std::size_t) { ++good; });
+    });
+    bad.join();
+    fine.join();
+    EXPECT_EQ(thrown, "task 7");
+    EXPECT_EQ(good.load(), 8 * 32);
 }
 
 TEST(ThreadPool, ResolveThreadCount)

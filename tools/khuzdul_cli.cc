@@ -12,6 +12,7 @@
  *   count     count a pattern's embeddings
  *   motifs    k-motif census
  *   fsm       frequent subgraph mining on a labeled graph
+ *   serve     run many queries concurrently through QueryService
  *
  * Run `khuzdul help` or `khuzdul help <subcommand>` for usage.
  */
@@ -470,6 +471,74 @@ cmdFsm(const Args &args)
     return 0;
 }
 
+/**
+ * Multi-query mode: submit every --query to one QueryService over a
+ * shared resident graph.  Per-query modeled results are printed in
+ * submission order (they are deterministic regardless of the mix);
+ * the footer reports what concurrency and sharing the service saw.
+ */
+int
+cmdServe(const Args &args)
+{
+    const Graph g = loadGraph(args.get("graph", ""));
+    const core::EngineConfig config = engineConfigFromArgs(args);
+    core::GraphContext context(g, config.graphSetup());
+
+    core::ServiceOptions options;
+    options.maxInFlight =
+        static_cast<unsigned>(args.getU64("max-in-flight", 4));
+    options.hostThreads = config.hostThreads;
+    core::QueryService service(context, options);
+
+    const std::string style = args.get("system", "graphpi");
+    KHUZDUL_REQUIRE(style == "automine" || style == "graphpi",
+                    "--system must be automine or graphpi");
+    PlanOptions plan_options;
+    plan_options.induced = args.has("induced");
+
+    const std::vector<std::string> specs = args.getList("query");
+    KHUZDUL_REQUIRE(!specs.empty(),
+                    "at least one --query PATTERN is required");
+    std::vector<Pattern> patterns;
+    for (const std::string &spec : specs) {
+        const Pattern p = parsePattern(spec);
+        const ExtendPlan plan = style == "automine"
+            ? compileAutomine(p, plan_options)
+            : compileGraphPi(p, context.profile(), plan_options);
+        service.submit(plan, config.session());
+        patterns.push_back(p);
+    }
+    Timer timer;
+    service.wait();
+
+    for (std::size_t id = 0; id < patterns.size(); ++id) {
+        const core::QueryResult &query = service.result(id);
+        if (query.failed) {
+            std::printf("query %zu  %-28s FAILED: %s\n", id,
+                        patterns[id].toString().c_str(),
+                        query.error.c_str());
+            continue;
+        }
+        std::printf("query %zu  %-28s %16s embeddings  modeled %s\n",
+                    id, patterns[id].toString().c_str(),
+                    formatCount(query.count).c_str(),
+                    formatTime(static_cast<std::uint64_t>(
+                        query.stats.makespanNs())).c_str());
+    }
+    std::printf("\n%zu queries, peak %u in flight "
+                "(admission bound %u)\n",
+                service.completed(), service.peakInFlight(),
+                options.maxInFlight);
+    std::printf("cross-query shared-cache hits: %s of %s probes\n",
+                formatCount(context.crossQueryHits()).c_str(),
+                formatCount(context.crossQueryProbes()).c_str());
+    std::printf("shared fabric traffic: %s\n",
+                formatBytes(context.sharedTotalBytes()).c_str());
+    std::printf("host wall time:        %s\n",
+                formatTime(timer.elapsedNs()).c_str());
+    return 0;
+}
+
 int
 cmdHelp(const std::string &topic)
 {
@@ -500,6 +569,23 @@ cmdHelp(const std::string &topic)
                   "  [--fault-retries N]  per-batch retry budget "
                   "(default 3)\n"
                   "  [--stats-json FILE] [--trace FILE]");
+    } else if (topic == "serve") {
+        std::puts("khuzdul serve --graph <graph-spec> "
+                  "--query SPEC [--query SPEC]...\n"
+                  "  [--system automine|graphpi] [--induced]\n"
+                  "  [--max-in-flight N]  queries executing "
+                  "concurrently (default 4;\n"
+                  "                       later submissions queue "
+                  "FIFO)\n"
+                  "  [--threads N]  workers of the shared unit pool "
+                  "(0 = all)\n"
+                  "  plus the cluster options of `count` (--nodes, "
+                  "--sockets, ...)\n"
+                  "Per-query modeled results are bit-identical to "
+                  "running each\n"
+                  "query alone; the footer shows concurrency and "
+                  "cross-query\n"
+                  "shared-cache hits (host-side observability only).");
     } else {
         std::puts(
             "khuzdul — distributed graph pattern mining "
@@ -512,6 +598,8 @@ cmdHelp(const std::string &topic)
             "  count      count embeddings of a pattern\n"
             "  motifs     k-motif census (induced counts)\n"
             "  fsm        frequent subgraph mining (MNI support)\n"
+            "  serve      run many queries concurrently "
+            "(QueryService)\n"
             "  help       this text / help <subcommand>\n\n"
             "graph specs: a file path, standin:<mc|pt|lj|uk|tw|fr|...>,\n"
             "  rmat:V:E[:a[:seed]], er:V:E[:seed], sw:V:k:beta[:seed]\n"
@@ -550,6 +638,8 @@ main(int argc, char **argv)
             return cmdMotifs(args);
         if (command == "fsm")
             return cmdFsm(args);
+        if (command == "serve")
+            return cmdServe(args);
         std::fprintf(stderr, "unknown subcommand '%s'\n",
                      command.c_str());
         cmdHelp("");

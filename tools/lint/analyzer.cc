@@ -39,8 +39,8 @@ ruleTable()
          "containers"},
         {"thread-primitive", RuleScope::ModeledZones,
          "no std threading/atomics in modeled zones outside "
-         "core/parallel/ — units communicate only via per-unit "
-         "deltas merged in unit order"},
+         "core/parallel/ and core/service/ — units communicate only "
+         "via per-unit deltas merged in unit order"},
         {"fabric-mutation", RuleScope::ModeledZones,
          "fabric ledger mutation only via Fabric::apply / "
          "CirculantScheduler::issue outside sim/fabric.cc — no raw "
@@ -120,6 +120,21 @@ bool
 isParallelRuntime(const std::string &path)
 {
     return pathHasDir(path, "src/core/parallel");
+}
+
+/**
+ * core/service/ is the multi-query scheduling runtime: like
+ * core/parallel/ it may own threads/mutexes/cvs (dispatchers,
+ * admission queue), because it only decides *when* sessions run.
+ * Every other rule — wall-clock, prng, unordered-iter,
+ * fabric-mutation — still applies in full: the service must never
+ * compute a modeled value, only move deterministic per-session
+ * results around.
+ */
+bool
+isServiceRuntime(const std::string &path)
+{
+    return pathHasDir(path, "src/core/service");
 }
 
 /** sim/fabric.* owns the ledger and may mutate it freely. */
@@ -339,8 +354,9 @@ tokenRules()
             {"thread-primitive",
              std::regex(R"(\bstd\s*::\s*(thread|jthread|this_thread|atomic\w*|mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|condition_variable(_any)?|lock_guard|unique_lock|shared_lock|scoped_lock|future|shared_future|promise|async|counting_semaphore|binary_semaphore|barrier|latch|stop_token|call_once|once_flag)\b|\bthread\s*::\s*id\b|#\s*include\s*<(thread|atomic|mutex|shared_mutex|condition_variable|future|semaphore|barrier|latch|stop_token)>)"),
              "threading primitive in a modeled zone — host "
-             "parallelism lives in core/parallel/; units exchange "
-             "state only via per-unit deltas merged in unit order",
+             "parallelism lives in core/parallel/ and the query "
+             "scheduler in core/service/; units exchange state only "
+             "via per-unit deltas merged in unit order",
              false});
         r.push_back(
             {"fabric-mutation",
@@ -367,7 +383,8 @@ ruleAppliesTo(const std::string &rule, const std::string &path)
     if (rule == "unordered-iter")
         return isModeledZone(path);
     if (rule == "thread-primitive")
-        return isModeledZone(path) && !isParallelRuntime(path);
+        return isModeledZone(path) && !isParallelRuntime(path)
+            && !isServiceRuntime(path);
     if (rule == "fabric-mutation")
         return isModeledZone(path) && !isFabricImpl(path);
     if (rule == "fault-modeled-state")
