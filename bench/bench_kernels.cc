@@ -2,22 +2,28 @@
  * @file
  * Set-kernel benchmark harness (BENCH_kernels.json).
  *
- * Three sections:
+ * Four sections:
  *   1. Pair sweeps — one small list against larger lists across a
  *      size-ratio sweep, wall-clocking every kernel (merge, blocked,
- *      gallop, adaptive dispatcher) on identical inputs and checking
- *      outputs and canonical charges agree.
- *   2. Hub-bitmap sweep — the same race against a real hub vertex's
+ *      gallop, SIMD merge, SIMD gallop, adaptive dispatcher) on
+ *      identical inputs and checking outputs and canonical charges
+ *      agree.
+ *   2. SIMD sweep — 4k x 4k equal-size races isolating the AVX2
+ *      block merge against the scalar reference.
+ *   3. Hub-bitmap sweep — the same race against a real hub vertex's
  *      neighbor list with its precomputed bitset, plus the memory
  *      accounting of the bitmap index.
- *   3. Engine A/B — full `count` runs per --kernel mode, asserting
+ *   4. Engine A/B — full `count` runs per --kernel mode, asserting
  *      counts and modeled makespans are mode-invariant while
  *      reporting host wall-clock per mode.
  *
- * `--check` turns the harness into a CI perf-smoke gate: it fails
- * (exit 1) if the adaptive dispatcher regresses more than 3x against
- * the reference merge on any skewed sweep, or if any invariance
- * check fails.  `--out FILE` overrides the JSON path.
+ * `--check` turns the harness into a CI perf-smoke gate.  It fails
+ * (exit 1) if any invariance check fails, if the adaptive dispatcher
+ * falls below 0.95x the best single kernel on any sweep row (rows
+ * that miss are re-raced up to twice to filter scheduler noise), or
+ * if — with AVX2 available — the SIMD merge is not at least 1.5x the
+ * scalar merge on the 4k x 4k equal-size sweep.  `--out FILE`
+ * overrides the JSON path.
  */
 
 #include <algorithm>
@@ -76,7 +82,30 @@ struct SweepRow
     double blockedNs = 0;
     double gallopNs = 0;
     double bitmapNs = -1; ///< -1 = no hub row for this input
+    double simdMergeNs = -1; ///< -1 = SIMD tier unavailable
+    double simdGallopNs = -1;
     double autoNs = 0;
+
+    /** Fastest single kernel on this row (the bar `auto` must hold). */
+    double
+    bestSingleNs() const
+    {
+        double best = std::min({mergeNs, blockedNs, gallopNs});
+        if (bitmapNs > 0)
+            best = std::min(best, bitmapNs);
+        if (simdMergeNs > 0)
+            best = std::min(best, std::min(simdMergeNs, simdGallopNs));
+        return best;
+    }
+};
+
+/** One raced input pair, kept so gate misses can be re-raced. */
+struct PairCase
+{
+    std::vector<VertexId> small;
+    std::vector<VertexId> large;
+    const Graph *graph = nullptr;
+    VertexId hub = kInvalidVertex;
 };
 
 bool failed = false;
@@ -113,6 +142,9 @@ racePair(std::span<const VertexId> small, std::span<const VertexId> large,
         fail("canonical work formula disagrees with merge loop");
     check("blocked", core::blockedIntersectInto(small, large, out));
     check("gallop", core::gallopIntersectInto(small, large, out));
+    check("simd_merge", core::simdMergeIntersectInto(small, large, out));
+    check("simd_gallop",
+          core::simdGallopIntersectInto(small, large, out));
 
     row.mergeNs = timeKernel(
         [&] { core::intersectInto(small, large, out); });
@@ -120,6 +152,12 @@ racePair(std::span<const VertexId> small, std::span<const VertexId> large,
         [&] { core::blockedIntersectInto(small, large, out); });
     row.gallopNs = timeKernel(
         [&] { core::gallopIntersectInto(small, large, out); });
+    if (core::simdAvailable()) {
+        row.simdMergeNs = timeKernel(
+            [&] { core::simdMergeIntersectInto(small, large, out); });
+        row.simdGallopNs = timeKernel(
+            [&] { core::simdGallopIntersectInto(small, large, out); });
+    }
 
     const std::uint64_t *row_bits =
         graph ? graph->hubBitmapRow(hub_source) : nullptr;
@@ -192,9 +230,13 @@ sweepJson(const std::vector<SweepRow> &rows)
            << ", \"blocked_ns\": " << r.blockedNs
            << ", \"gallop_ns\": " << r.gallopNs
            << ", \"bitmap_ns\": " << r.bitmapNs
+           << ", \"simd_merge_ns\": " << r.simdMergeNs
+           << ", \"simd_gallop_ns\": " << r.simdGallopNs
            << ", \"auto_ns\": " << r.autoNs
            << ", \"speedup_auto_vs_merge\": "
-           << (r.autoNs > 0 ? r.mergeNs / r.autoNs : 0) << "}";
+           << (r.autoNs > 0 ? r.mergeNs / r.autoNs : 0)
+           << ", \"speedup_auto_vs_best\": "
+           << (r.autoNs > 0 ? r.bestSingleNs() / r.autoNs : 0) << "}";
     }
     return os.str();
 }
@@ -215,31 +257,64 @@ main(int argc, char **argv)
 
     bench::banner("Set-kernel suite",
                   "kernel dispatch microarchitecture (DESIGN.md 5.6)");
+    std::printf("SIMD tier: %s\n",
+                core::simdAvailable()        ? "avx2"
+                    : core::simdCompiled()   ? "compiled, CPU lacks avx2"
+                                             : "compiled out");
 
     // --- 1. Synthetic pair sweeps across size ratios -------------
     const std::size_t kSmall = 256;
     const VertexId kUniverse = 1 << 20;
+    std::vector<PairCase> sweep_cases;
     std::vector<SweepRow> sweeps;
-    bench::TablePrinter table(
-        {"ratio", "merge", "blocked", "gallop", "auto", "speedup"},
-        {6, 10, 10, 10, 10, 8});
+    bench::TablePrinter table({"ratio", "merge", "gallop", "simd_mrg",
+                               "simd_gal", "auto", "speedup"},
+                              {6, 10, 10, 10, 10, 10, 8});
     table.printHeader();
+    const auto fmtMaybe = [](double ns) {
+        return ns > 0 ? bench::fmtTime(ns) : std::string("n/a");
+    };
     for (const std::size_t ratio : {1ull, 4ull, 16ull, 64ull, 256ull}) {
-        const auto small = sortedRandomList(kSmall, kUniverse, 11);
-        const auto large =
-            sortedRandomList(kSmall * ratio, kUniverse, 12 + ratio);
-        SweepRow row = racePair(small, large, nullptr, kInvalidVertex);
+        PairCase c;
+        c.small = sortedRandomList(kSmall, kUniverse, 11);
+        c.large = sortedRandomList(kSmall * ratio, kUniverse, 12 + ratio);
+        SweepRow row = racePair(c.small, c.large, nullptr, kInvalidVertex);
+        sweep_cases.push_back(std::move(c));
         sweeps.push_back(row);
         char speedup[32];
         std::snprintf(speedup, sizeof speedup, "%.2fx",
                       row.mergeNs / row.autoNs);
         table.printRow({std::to_string(ratio),
                         bench::fmtTime(row.mergeNs),
-                        bench::fmtTime(row.blockedNs),
                         bench::fmtTime(row.gallopNs),
+                        fmtMaybe(row.simdMergeNs),
+                        fmtMaybe(row.simdGallopNs),
                         bench::fmtTime(row.autoNs), speedup});
     }
     table.printRule();
+
+    // --- 1b. 4k x 4k equal-size SIMD sweep -----------------------
+    // The AVX2 block merge's home turf: near-equal lists too big for
+    // galloping to help.  Gated at >= 1.5x the scalar merge.
+    std::vector<PairCase> simd_cases;
+    std::vector<SweepRow> simd_sweeps;
+    std::printf("\nsimd merge, 4k x 4k equal-size lists:\n");
+    for (const std::uint64_t seed : {21ull, 22ull, 23ull}) {
+        PairCase c;
+        c.small = sortedRandomList(4096, kUniverse, seed);
+        c.large = sortedRandomList(4096, kUniverse, 100 + seed);
+        SweepRow row = racePair(c.small, c.large, nullptr, kInvalidVertex);
+        std::printf("  merge %-10s simd %-10s (%.2fx)\n",
+                    bench::fmtTime(row.mergeNs).c_str(),
+                    (row.simdMergeNs > 0
+                         ? bench::fmtTime(row.simdMergeNs)
+                         : std::string("n/a"))
+                        .c_str(),
+                    row.simdMergeNs > 0 ? row.mergeNs / row.simdMergeNs
+                                        : 0.0);
+        simd_cases.push_back(std::move(c));
+        simd_sweeps.push_back(row);
+    }
 
     // --- 2. Hub-bitmap sweep on a stand-in graph -----------------
     const datasets::Dataset &uk = datasets::byName("uk");
@@ -255,12 +330,17 @@ main(int argc, char **argv)
                 formatBytes(g.hubBitmapBytes()).c_str(),
                 formatBytes(g.sizeBytes()).c_str(),
                 static_cast<unsigned long long>(g.degree(hub)));
+    std::vector<PairCase> hub_cases;
     std::vector<SweepRow> hub_sweeps;
     for (const std::size_t size : {16u, 64u, 256u}) {
-        const auto small =
-            sortedRandomList(size, g.numVertices(), 13 + size);
-        hub_sweeps.push_back(
-            racePair(small, g.neighbors(hub), &g, hub));
+        PairCase c;
+        c.small = sortedRandomList(size, g.numVertices(), 13 + size);
+        const auto hub_list = g.neighbors(hub);
+        c.large.assign(hub_list.begin(), hub_list.end());
+        c.graph = &g;
+        c.hub = hub;
+        hub_sweeps.push_back(racePair(c.small, c.large, &g, hub));
+        hub_cases.push_back(std::move(c));
     }
 
     // --- 3. Engine A/B across --kernel modes ---------------------
@@ -268,7 +348,8 @@ main(int argc, char **argv)
     std::vector<EngineRow> engine_rows;
     const core::KernelMode modes[] = {
         core::KernelMode::Auto, core::KernelMode::Merge,
-        core::KernelMode::Gallop, core::KernelMode::Bitmap};
+        core::KernelMode::Gallop, core::KernelMode::Bitmap,
+        core::KernelMode::Simd};
     std::printf("\nengine A/B (standin:mc, 4-CC, graphpi plan):\n");
     for (const core::KernelMode mode : modes) {
         engine_rows.push_back(
@@ -286,21 +367,70 @@ main(int argc, char **argv)
             fail("modeled makespan differs across kernel modes");
     }
 
-    // --- Gate + JSON ---------------------------------------------
+    // --- Gates + JSON --------------------------------------------
+    const auto raceCase = [](const PairCase &c) {
+        return racePair(c.small, c.large, c.graph, c.hub);
+    };
+
+    // Gate 1: the adaptive dispatcher must hold >= 0.95x the best
+    // single kernel on EVERY row (this subsumes the old >3x-vs-merge
+    // bound — merge is one of the single kernels).  A row that
+    // misses is re-raced up to twice first: single-shot wall-clock
+    // on a shared host is noisy, a real retune regression is not.
     double best_skewed_speedup = 0;
-    for (const std::vector<SweepRow> *rows : {&sweeps, &hub_sweeps}) {
-        for (const SweepRow &r : *rows) {
-            const double speedup = r.mergeNs / r.autoNs;
+    double worst_auto_vs_best = 1e30;
+    struct Section
+    {
+        std::vector<SweepRow> *rows;
+        std::vector<PairCase> *cases;
+        const char *name;
+    };
+    for (const Section s : {Section{&sweeps, &sweep_cases, "pair"},
+                            Section{&simd_sweeps, &simd_cases, "simd"},
+                            Section{&hub_sweeps, &hub_cases, "hub"}}) {
+        for (std::size_t i = 0; i < s.rows->size(); ++i) {
+            SweepRow &r = (*s.rows)[i];
+            for (int attempt = 0;
+                 r.bestSingleNs() < 0.95 * r.autoNs && attempt < 2;
+                 ++attempt)
+                r = raceCase((*s.cases)[i]);
             if (r.ratio >= core::kGallopRatio)
-                best_skewed_speedup =
-                    std::max(best_skewed_speedup, speedup);
-            if (r.ratio >= core::kGallopRatio && speedup < 1.0 / 3.0)
-                fail("dispatcher >3x slower than merge at ratio "
-                     + std::to_string(r.ratio));
+                best_skewed_speedup = std::max(best_skewed_speedup,
+                                               r.mergeNs / r.autoNs);
+            const double vs_best = r.bestSingleNs() / r.autoNs;
+            worst_auto_vs_best = std::min(worst_auto_vs_best, vs_best);
+            if (vs_best < 0.95)
+                fail(std::string(s.name) + " sweep: auto only "
+                     + std::to_string(vs_best)
+                     + "x of the best single kernel (ratio "
+                     + std::to_string(r.ratio) + ")");
         }
     }
     std::printf("\nbest skewed-sweep speedup (auto vs merge): %.2fx\n",
                 best_skewed_speedup);
+    std::printf("worst auto vs best single kernel: %.2fx\n",
+                worst_auto_vs_best);
+
+    // Gate 2: with AVX2 live, the SIMD merge must clear 1.5x the
+    // scalar merge somewhere on its 4k x 4k home-turf sweep.
+    double simd_speedup_4k = 0;
+    if (core::simdAvailable()) {
+        for (std::size_t i = 0; i < simd_sweeps.size(); ++i) {
+            SweepRow &r = simd_sweeps[i];
+            for (int attempt = 0;
+                 r.mergeNs < 1.5 * r.simdMergeNs && attempt < 2;
+                 ++attempt)
+                r = raceCase(simd_cases[i]);
+            if (r.simdMergeNs > 0)
+                simd_speedup_4k = std::max(simd_speedup_4k,
+                                           r.mergeNs / r.simdMergeNs);
+        }
+        std::printf("simd merge vs scalar merge at 4k x 4k: %.2fx\n",
+                    simd_speedup_4k);
+        if (simd_speedup_4k < 1.5)
+            fail("simd merge below 1.5x scalar merge on the 4k x 4k "
+                 "sweep");
+    }
 
     std::ofstream out(out_path);
     if (!out.is_open()) {
@@ -308,7 +438,10 @@ main(int argc, char **argv)
         return 1;
     }
     out.precision(15);
-    out << "{\n  \"pair_sweeps\": [\n" << sweepJson(sweeps)
+    out << "{\n  \"simd_available\": "
+        << (core::simdAvailable() ? "true" : "false")
+        << ",\n  \"pair_sweeps\": [\n" << sweepJson(sweeps)
+        << "\n  ],\n  \"simd_sweeps\": [\n" << sweepJson(simd_sweeps)
         << "\n  ],\n  \"hub_sweeps\": [\n" << sweepJson(hub_sweeps)
         << "\n  ],\n  \"hub_bitmap\": {\"graph\": \"standin:uk\", "
         << "\"rows\": " << g.hubBitmapCount()
@@ -335,6 +468,8 @@ main(int argc, char **argv)
         out << "}}";
     }
     out << "\n  ],\n  \"best_skewed_speedup\": " << best_skewed_speedup
+        << ",\n  \"worst_auto_vs_best\": " << worst_auto_vs_best
+        << ",\n  \"simd_speedup_4k\": " << simd_speedup_4k
         << ",\n  \"check_passed\": " << (failed ? "false" : "true")
         << "\n}\n";
     std::printf("wrote %s\n", out_path.c_str());

@@ -141,6 +141,42 @@ BM_IntersectBlocked(benchmark::State &state)
 }
 BENCHMARK(BM_IntersectBlocked)->Arg(64)->Arg(1024)->Arg(16384);
 
+/** AVX2 block merge on near-equal lists (scalar fallback when the
+ *  host lacks AVX2 — compare against BM_IntersectPair). */
+void
+BM_IntersectSimdMerge(benchmark::State &state)
+{
+    const auto a = sortedRandomList(state.range(0), 1);
+    const auto b = sortedRandomList(state.range(0), 2);
+    std::vector<VertexId> out;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::simdMergeIntersectInto(a, b, out));
+    state.SetItemsProcessed(state.iterations()
+                            * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectSimdMerge)->Arg(64)->Arg(1024)->Arg(16384);
+
+/** SIMD gallop on the skew sweep (compare BM_IntersectSkewGallop). */
+void
+BM_IntersectSkewSimdGallop(benchmark::State &state)
+{
+    const auto small = sortedRandomList(256, 21);
+    const auto large =
+        sortedRandomList(256 * state.range(0), 22);
+    std::vector<VertexId> out;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::simdGallopIntersectInto(small, large, out));
+    state.SetItemsProcessed(state.iterations()
+                            * (small.size() + large.size()));
+}
+BENCHMARK(BM_IntersectSkewSimdGallop)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
 /** Bitmap kernel against a real hub row on a skewed rmat graph. */
 void
 BM_IntersectBitmapHub(benchmark::State &state)

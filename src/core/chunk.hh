@@ -6,11 +6,23 @@
  * level (the hierarchical representation of Fig 8), so a chunk
  * releases all of its memory at once when the level backtracks —
  * the paper's answer to BFS fragmentation.
+ *
+ * The columns are level-wise frontier arrays in the style of
+ * Pangolin's EmbeddingList: one flat vertex column and one parent
+ * column per level (vertexColumn/parentColumn), plus an explicit
+ * active-list index column (fetchList) recording, in insertion
+ * order, exactly the embeddings whose edge list must be resolved
+ * before extension.  The fetch phase walks that column as one
+ * contiguous run instead of re-testing a per-embedding flag, and
+ * children of one parent are contiguous in the child chunk, which
+ * is what lets the extender reuse the recovered parent prefix
+ * across sibling runs and feed the SIMD kernels contiguous spans.
  */
 
 #ifndef KHUZDUL_CORE_CHUNK_HH
 #define KHUZDUL_CORE_CHUNK_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -77,13 +89,14 @@ class Chunk
                 capacityBytes_ / kEntryBytes + 1);
             vertices_.reserve(entries);
             parents_.reserve(entries);
-            needsFetch_.reserve(entries);
+            fetchList_.reserve(entries);
             resultOffsets_.reserve(entries);
             resultLengths_.reserve(entries);
         }
         vertices_.push_back(vertex);
         parents_.push_back(parent);
-        needsFetch_.push_back(needs_fetch ? 1 : 0);
+        if (needs_fetch)
+            fetchList_.push_back(size() - 1);
         resultOffsets_.push_back(0);
         resultLengths_.push_back(0);
         modeledBytes_ += kEntryBytes;
@@ -92,7 +105,36 @@ class Chunk
 
     VertexId vertex(std::uint32_t idx) const { return vertices_[idx]; }
     std::uint32_t parent(std::uint32_t idx) const { return parents_[idx]; }
-    bool needsFetch(std::uint32_t idx) const { return needsFetch_[idx]; }
+
+    bool
+    needsFetch(std::uint32_t idx) const
+    {
+        // O(log n) reverse lookup kept for tests/assertions; hot
+        // paths walk fetchList() directly.
+        return std::binary_search(fetchList_.begin(), fetchList_.end(),
+                                  idx);
+    }
+
+    /** @name Level-wise frontier columns (Pangolin EmbeddingList) */
+    /// @{
+
+    /** Flat vertex column of this level. */
+    std::span<const VertexId> vertexColumn() const { return vertices_; }
+
+    /** Flat parent-index column into the previous level. */
+    std::span<const std::uint32_t>
+    parentColumn() const
+    {
+        return parents_;
+    }
+
+    /**
+     * Active-list index column: the embeddings whose edge list must
+     * be resolved before extension, in insertion order (ascending),
+     * walked by the fetch phase as one contiguous run.
+     */
+    std::span<const std::uint32_t> fetchList() const { return fetchList_; }
+    /// @}
 
     /**
      * Append a reusable intermediate result to the chunk arena (the
@@ -146,7 +188,7 @@ class Chunk
     {
         vertices_.clear();
         parents_.clear();
-        needsFetch_.clear();
+        fetchList_.clear();
         resultOffsets_.clear();
         resultLengths_.clear();
         resultArena_.clear();
@@ -158,7 +200,7 @@ class Chunk
     std::uint64_t modeledBytes_ = 0;
     std::vector<VertexId> vertices_;
     std::vector<std::uint32_t> parents_;
-    std::vector<std::uint8_t> needsFetch_;
+    std::vector<std::uint32_t> fetchList_;
     std::vector<std::uint32_t> resultOffsets_;
     std::vector<std::uint32_t> resultLengths_;
     std::vector<VertexId> resultArena_;

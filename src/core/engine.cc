@@ -115,11 +115,14 @@ class HybridExplorer
         Chunk &chunk = chunks_[level];
         CirculantScheduler &sched = scheds_[level];
         sched.begin(chunk.size());
-        for (std::uint32_t idx = 0; idx < chunk.size(); ++idx) {
-            if (!chunk.needsFetch(idx))
-                continue;
+        // The active-list column holds exactly the embeddings that
+        // fetch, in insertion order — one contiguous run, no
+        // per-embedding flag test (same resolution order as the flag
+        // scan, so modeled outcomes are unchanged).
+        const std::span<const VertexId> verts = chunk.vertexColumn();
+        for (const std::uint32_t idx : chunk.fetchList()) {
             const Resolution r = provider_.resolve(
-                unit_, chunk.vertex(idx), &tables_[level], stats_,
+                unit_, verts[idx], &tables_[level], stats_,
                 level, faults_);
             if (r.kind == ResolutionKind::Shared) {
                 sched.noteShared(idx, r.owner);
@@ -220,22 +223,32 @@ class HybridExplorer
     }
 
     /** Fold the dispatcher tallies accumulated since the previous
-     *  flush into stats, one KernelDispatch trace event per kernel
-     *  kind that ran (per-chunk deltas, not per-call events). */
+     *  flush into stats, and emit one KernelDispatch trace event
+     *  carrying the total set-operation delta of the chunk (not the
+     *  per-kind split: which kernel ran is host-dependent once the
+     *  SIMD tier exists, but the number of set operations is not, so
+     *  the event stays bit-identical across modes and builds). */
     void
     flushKernelCounters(int level)
     {
+        static_assert(
+            std::tuple_size_v<decltype(sim::NodeStats::kernelCalls)>
+                == kNumKernelKinds,
+            "NodeStats::kernelCalls must track core::KernelKind");
         const KernelCounters &now = extender_.kernelCounters();
+        std::uint64_t total_delta = 0;
         for (std::size_t k = 0; k < kNumKernelKinds; ++k) {
             const std::uint64_t delta =
                 now.calls[k] - lastKernelCalls_[k];
             if (delta == 0)
                 continue;
             stats_.kernelCalls[k] += delta;
-            trace().emit({sim::PhaseEvent::KernelDispatch, unit_,
-                          level, delta, k});
+            total_delta += delta;
             lastKernelCalls_[k] = now.calls[k];
         }
+        if (total_delta != 0)
+            trace().emit({sim::PhaseEvent::KernelDispatch, unit_,
+                          level, total_delta, 0});
     }
 
     Engine &engine_;

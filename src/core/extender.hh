@@ -43,17 +43,44 @@ class PlanExtender
           dispatcher_(kernel_mode, &g)
     {}
 
-    /** Walk parent pointers to recover the embedding's vertices. */
+    /**
+     * Walk parent pointers to recover the embedding's vertices.
+     *
+     * Children of one parent are contiguous in a chunk (the frontier
+     * columns are filled in extension order), so sibling runs share
+     * the whole recovered prefix: when the previous recovery at this
+     * level had the same parent index the walk is skipped and only
+     * the last vertex is refreshed.  The cached prefix can never go
+     * stale across chunk refills — before any same-level recovery
+     * can see a refilled chunk, an extension at the level above has
+     * already re-run recovery there and retagged the cache.
+     */
     void
     recoverVertices(const std::vector<Chunk> &chunks, int level,
                     std::uint32_t idx)
     {
-        std::uint32_t cursor = idx;
-        for (int l = level; l >= 0; --l) {
+        const std::uint32_t parent = chunks[level].parent(idx);
+        if (level == prefixLevel_ && parent == prefixParent_
+            && parent != kNoParent) {
+            vertices_[level] = chunks[level].vertex(idx);
+            ++prefixReuses_;
+            return;
+        }
+        const std::span<const VertexId> col =
+            chunks[level].vertexColumn();
+        vertices_[level] = col[idx];
+        std::uint32_t cursor = parent;
+        for (int l = level - 1; l >= 0; --l) {
             vertices_[l] = chunks[l].vertex(cursor);
             cursor = chunks[l].parent(cursor);
         }
+        prefixLevel_ = level;
+        prefixParent_ = parent;
     }
+
+    /** Host-side tally of sibling-run prefix reuses (bench probe;
+     *  not part of the modeled state). */
+    std::uint64_t prefixReuses() const { return prefixReuses_; }
 
     /**
      * Materialize the candidate set for position @p t of the
@@ -135,6 +162,9 @@ class PlanExtender
     std::vector<VertexId> scratchA_;
     std::vector<VertexId> scratchB_;
     double workNs_ = 0;
+    int prefixLevel_ = -1;          ///< level of the cached prefix
+    std::uint32_t prefixParent_ = kNoParent;
+    std::uint64_t prefixReuses_ = 0;
 };
 
 } // namespace core

@@ -4,7 +4,9 @@
  * neighbor list of a hub vertex whose dense bitset was precomputed
  * (Graph::buildHubBitmaps), the smaller list drives and each element
  * costs one O(1) bit test — no merge scan over the (large) hub list.
- * Charges stay canonical merge-equivalent work.
+ * When the SIMD tier is live the bit tests run word-parallel, eight
+ * driving elements per gather (detail::simdBitmap*).  Charges stay
+ * canonical merge-equivalent work.
  */
 
 #include "core/kernels/kernels.hh"
@@ -30,8 +32,12 @@ bitmapIntersectInto(std::span<const VertexId> a,
                     std::span<const VertexId> hub_list,
                     const std::uint64_t *row, std::vector<VertexId> &out)
 {
-    out.clear();
     const WorkItems work = canonicalIntersectWork(a, hub_list);
+    if (a.size() >= kSimdMinSize && simdAvailable()) {
+        detail::simdBitmapFilter(a, row, /*keep_members=*/true, out);
+        return work;
+    }
+    out.clear();
     for (const VertexId x : a)
         if (testBit(row, x))
             out.push_back(x);
@@ -43,8 +49,12 @@ bitmapIntersectCount(std::span<const VertexId> a,
                      std::span<const VertexId> hub_list,
                      const std::uint64_t *row, Count &count)
 {
-    count = 0;
     const WorkItems work = canonicalIntersectWork(a, hub_list);
+    if (a.size() >= kSimdMinSize && simdAvailable()) {
+        count = detail::simdBitmapCount(a, row);
+        return work;
+    }
+    count = 0;
     for (const VertexId x : a)
         count += testBit(row, x);
     return work;
@@ -55,8 +65,12 @@ bitmapSubtractInto(std::span<const VertexId> a,
                    std::span<const VertexId> hub_list,
                    const std::uint64_t *row, std::vector<VertexId> &out)
 {
-    out.clear();
     const WorkItems work = canonicalSubtractWork(a, hub_list);
+    if (a.size() >= kSimdMinSize && simdAvailable()) {
+        detail::simdBitmapFilter(a, row, /*keep_members=*/false, out);
+        return work;
+    }
+    out.clear();
     for (const VertexId x : a)
         if (!testBit(row, x))
             out.push_back(x);

@@ -2,11 +2,14 @@
  * @file
  * Per-call kernel selection.  The dispatcher orders each pairwise
  * operation small-list-first, then picks bitmap (hub row available
- * and ratio >= kBitmapRatio), gallop (ratio >= kGallopRatio),
- * blocked merge (both sides >= kBlockedMinSize) or the reference
- * merge — or obeys a forced KernelMode for A/B runs.  Every path
- * returns the canonical merge-equivalent charge, so mode choice is
- * invisible to the cost model.
+ * and ratio >= kBitmapRatio), galloping (ratio >= kGallopRatio) or
+ * merging — vectorized variants when the SIMD tier is live and the
+ * driving list clears kSimdMinSize — or obeys a forced KernelMode
+ * for A/B runs.  Blocked merge is no longer selected by Auto: the
+ * BENCH_kernels.json calibration sweep showed it losing to plain
+ * merge on every row (speedup 0.56-0.90), the regression this
+ * retune fixes.  Every path returns the canonical merge-equivalent
+ * charge, so mode choice is invisible to the cost model.
  */
 
 #include "core/kernels/kernels.hh"
@@ -32,6 +35,10 @@ kernelKindName(KernelKind kind)
         return "gallop";
       case KernelKind::Bitmap:
         return "bitmap";
+      case KernelKind::SimdMerge:
+        return "simd_merge";
+      case KernelKind::SimdGallop:
+        return "simd_gallop";
     }
     KHUZDUL_PANIC("unreachable kernel kind");
 }
@@ -48,6 +55,8 @@ kernelModeName(KernelMode mode)
         return "gallop";
       case KernelMode::Bitmap:
         return "bitmap";
+      case KernelMode::Simd:
+        return "simd";
     }
     KHUZDUL_PANIC("unreachable kernel mode");
 }
@@ -63,8 +72,10 @@ parseKernelMode(const std::string &name)
         return KernelMode::Gallop;
     if (name == "bitmap")
         return KernelMode::Bitmap;
+    if (name == "simd")
+        return KernelMode::Simd;
     KHUZDUL_FATAL("unknown kernel mode '" << name
-                  << "' (expected auto|merge|gallop|bitmap)");
+                  << "' (expected auto|merge|gallop|bitmap|simd)");
 }
 
 const std::uint64_t *
@@ -84,6 +95,7 @@ KernelDispatcher::intersectInto(const ListRef &a, const ListRef &b,
     const auto count = [this](KernelKind k) {
         ++counters_.calls[static_cast<std::size_t>(k)];
     };
+    const bool wide = simd_ && small.size() >= kSimdMinSize;
     switch (mode_) {
       case KernelMode::Merge:
         break;
@@ -97,6 +109,20 @@ KernelDispatcher::intersectInto(const ListRef &a, const ListRef &b,
                                        out);
         }
         break;
+      case KernelMode::Simd:
+        if (large.size() >= kGallopRatio * small.size()
+            && !small.list.empty()) {
+            count(wide ? KernelKind::SimdGallop : KernelKind::Gallop);
+            return wide ? simdGallopIntersectInto(small.list,
+                                                  large.list, out)
+                        : gallopIntersectInto(small.list, large.list,
+                                              out);
+        }
+        if (wide) {
+            count(KernelKind::SimdMerge);
+            return simdMergeIntersectInto(small.list, large.list, out);
+        }
+        break;
       case KernelMode::Auto: {
         if (small.list.empty())
             break; // trivial; merge returns immediately
@@ -108,12 +134,17 @@ KernelDispatcher::intersectInto(const ListRef &a, const ListRef &b,
             }
         }
         if (large.size() >= kGallopRatio * small.size()) {
+            // Scalar gallop, deliberately: the sweep shows the
+            // vectorized landing window losing to the plain binary
+            // narrow at every ratio >= kGallopRatio (the probe loads
+            // cost more than the <= 3 scalar steps they replace).
+            // SimdGallop stays reachable via KernelMode::Simd.
             count(KernelKind::Gallop);
             return gallopIntersectInto(small.list, large.list, out);
         }
-        if (small.size() >= kBlockedMinSize) {
-            count(KernelKind::Blocked);
-            return blockedIntersectInto(small.list, large.list, out);
+        if (wide) {
+            count(KernelKind::SimdMerge);
+            return simdMergeIntersectInto(small.list, large.list, out);
         }
         break;
       }
@@ -131,6 +162,7 @@ KernelDispatcher::intersectCount(const ListRef &a, const ListRef &b,
     const auto count = [this](KernelKind k) {
         ++counters_.calls[static_cast<std::size_t>(k)];
     };
+    const bool wide = simd_ && small.size() >= kSimdMinSize;
     switch (mode_) {
       case KernelMode::Merge:
         break;
@@ -144,6 +176,21 @@ KernelDispatcher::intersectCount(const ListRef &a, const ListRef &b,
                                         result);
         }
         break;
+      case KernelMode::Simd:
+        if (large.size() >= kGallopRatio * small.size()
+            && !small.list.empty()) {
+            count(wide ? KernelKind::SimdGallop : KernelKind::Gallop);
+            return wide ? simdGallopIntersectCount(small.list,
+                                                   large.list, result)
+                        : gallopIntersectCount(small.list, large.list,
+                                               result);
+        }
+        if (wide) {
+            count(KernelKind::SimdMerge);
+            return simdMergeIntersectCount(small.list, large.list,
+                                           result);
+        }
+        break;
       case KernelMode::Auto: {
         if (small.list.empty())
             break;
@@ -155,14 +202,15 @@ KernelDispatcher::intersectCount(const ListRef &a, const ListRef &b,
             }
         }
         if (large.size() >= kGallopRatio * small.size()) {
+            // Scalar gallop on purpose — see intersectInto.
             count(KernelKind::Gallop);
             return gallopIntersectCount(small.list, large.list,
                                         result);
         }
-        if (small.size() >= kBlockedMinSize) {
-            count(KernelKind::Blocked);
-            return blockedIntersectCount(small.list, large.list,
-                                         result);
+        if (wide) {
+            count(KernelKind::SimdMerge);
+            return simdMergeIntersectCount(small.list, large.list,
+                                           result);
         }
         break;
       }
@@ -180,6 +228,7 @@ KernelDispatcher::subtractInto(const ListRef &a, const ListRef &b,
     const auto count = [this](KernelKind k) {
         ++counters_.calls[static_cast<std::size_t>(k)];
     };
+    const bool wide = simd_ && a.size() >= kSimdMinSize;
     switch (mode_) {
       case KernelMode::Merge:
         break;
@@ -192,6 +241,14 @@ KernelDispatcher::subtractInto(const ListRef &a, const ListRef &b,
             return bitmapSubtractInto(a.list, b.list, row, out);
         }
         break;
+      case KernelMode::Simd:
+        if (!a.list.empty() && !b.list.empty()
+            && b.size() >= kGallopRatio * a.size()) {
+            count(wide ? KernelKind::SimdGallop : KernelKind::Gallop);
+            return wide ? simdGallopSubtractInto(a.list, b.list, out)
+                        : gallopSubtractInto(a.list, b.list, out);
+        }
+        break;
       case KernelMode::Auto: {
         if (a.list.empty() || b.list.empty())
             break;
@@ -202,6 +259,7 @@ KernelDispatcher::subtractInto(const ListRef &a, const ListRef &b,
             }
         }
         if (b.size() >= kGallopRatio * a.size()) {
+            // Scalar gallop on purpose — see intersectInto.
             count(KernelKind::Gallop);
             return gallopSubtractInto(a.list, b.list, out);
         }

@@ -2,7 +2,7 @@
  * @file
  * Adaptive sorted-list set-kernel suite: the computational heart of
  * pattern-aware enumeration (every extension is an intersection of
- * active edge lists, §3.1).  Four interchangeable kernels implement
+ * active edge lists, §3.1).  Six interchangeable kernels implement
  * each set operation:
  *
  *   - Merge: the reference two-pointer merge (the modeled machine);
@@ -10,7 +10,19 @@
  *   - Gallop: exponential-probe binary search driven by the smaller
  *     list, for skewed size ratios (hub vs. candidate lists);
  *   - Bitmap: per-element bit tests against a precomputed hub-vertex
- *     bitset stored on the Graph (Graph::buildHubBitmaps).
+ *     bitset stored on the Graph (Graph::buildHubBitmaps), with a
+ *     word-parallel gather fast path when the SIMD tier is live;
+ *   - SimdMerge: AVX2 shuffle-based all-pairs block merge for
+ *     near-equal sizes (8x8 lane comparisons + table-driven lane
+ *     compaction);
+ *   - SimdGallop: galloping search whose landing window is resolved
+ *     with one 8-lane vector compare instead of the final binary
+ *     search steps.
+ *
+ * The SIMD tier is compiled per-function (target("avx2")) and gated
+ * at runtime behind CPU-feature detection (simdAvailable()): on
+ * hosts or builds without AVX2 every entry point falls back to the
+ * scalar kernels with byte-identical outputs and charges.
  *
  * A KernelDispatcher picks the kernel per call from the size ratio
  * and hub-bitmap availability (or a forced KernelMode for A/B runs).
@@ -61,15 +73,17 @@ using WorkItems = std::uint64_t;
 /** The kernel that executed one set operation. */
 enum class KernelKind : std::uint8_t
 {
-    Merge,   ///< reference two-pointer merge
-    Blocked, ///< unrolled branch-light merge (near-equal sizes)
-    Gallop,  ///< galloping binary search (skewed ratios)
-    Bitmap,  ///< hub-vertex bitset probe (Graph::hubBitmapRow)
+    Merge,      ///< reference two-pointer merge
+    Blocked,    ///< unrolled branch-light merge (near-equal sizes)
+    Gallop,     ///< galloping binary search (skewed ratios)
+    Bitmap,     ///< hub-vertex bitset probe (Graph::hubBitmapRow)
+    SimdMerge,  ///< AVX2 shuffle-based block merge
+    SimdGallop, ///< galloping search with vectorized landing window
 };
 
-inline constexpr std::size_t kNumKernelKinds = 4;
+inline constexpr std::size_t kNumKernelKinds = 6;
 
-/** Stable lowercase name ("merge", "blocked", "gallop", "bitmap"). */
+/** Stable lowercase name ("merge", ..., "simd_merge", "simd_gallop"). */
 const char *kernelKindName(KernelKind kind);
 
 /** Dispatcher policy: adaptive, or one kernel forced for A/B. */
@@ -79,9 +93,10 @@ enum class KernelMode : std::uint8_t
     Merge,  ///< always the reference merge (the modeled machine)
     Gallop, ///< always galloping search
     Bitmap, ///< bitmap wherever a hub row exists, else merge
+    Simd,   ///< SIMD tier wherever it applies (scalar when unavailable)
 };
 
-/** Stable lowercase name ("auto", "merge", "gallop", "bitmap"). */
+/** Stable lowercase name ("auto", "merge", "gallop", "bitmap", "simd"). */
 const char *kernelModeName(KernelMode mode);
 
 /** Parse a --kernel value; aborts on unknown names. */
@@ -232,14 +247,82 @@ WorkItems bitmapSubtractInto(std::span<const VertexId> a,
                              std::vector<VertexId> &out);
 /// @}
 
-/** @name Dispatch heuristics (size-ratio thresholds) */
+/** @name SIMD tier (AVX2, runtime-detected)
+ *
+ * Output and charge byte-identical to the reference merge; when the
+ * tier is unavailable (build-time KHUZDUL_NO_SIMD, non-x86, or the
+ * CPU lacks AVX2) every entry point transparently runs the matching
+ * scalar kernel.
+ */
+/// @{
+
+/** True when AVX2 code paths were compiled into this binary. */
+bool simdCompiled();
+
+/** True when compiled AND the CPU reports AVX2 AND not disabled. */
+bool simdAvailable();
+
+/**
+ * Host-side kill switch (tests/bench force the scalar fallback in an
+ * AVX2 binary to prove byte-identical outputs).  Dispatchers snapshot
+ * availability at construction, so toggle before building an engine.
+ */
+void setSimdEnabled(bool enabled);
+
+WorkItems simdMergeIntersectInto(std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 std::vector<VertexId> &out);
+WorkItems simdMergeIntersectCount(std::span<const VertexId> a,
+                                  std::span<const VertexId> b,
+                                  Count &count);
+
+/** SIMD galloping kernels; @p a is the smaller (driving) list. */
+WorkItems simdGallopIntersectInto(std::span<const VertexId> a,
+                                  std::span<const VertexId> b,
+                                  std::vector<VertexId> &out);
+WorkItems simdGallopIntersectCount(std::span<const VertexId> a,
+                                   std::span<const VertexId> b,
+                                   Count &count);
+WorkItems simdGallopSubtractInto(std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 std::vector<VertexId> &out);
+
+namespace detail
+{
+/** Word-parallel bitmap row probes (gather + variable shift); the
+ *  bitmap kernels call these only when simdAvailable(). */
+Count simdBitmapCount(std::span<const VertexId> a,
+                      const std::uint64_t *row);
+void simdBitmapFilter(std::span<const VertexId> a,
+                      const std::uint64_t *row, bool keep_members,
+                      std::vector<VertexId> &out);
+} // namespace detail
+/// @}
+
+/** @name Dispatch heuristics (size-ratio thresholds)
+ *
+ * Retuned from the BENCH_kernels.json calibration sweep: gallop's
+ * crossover against merge sits between ratio 4 (merge wins 1.15x)
+ * and ratio 15 (gallop wins 1.7x), so the gallop threshold dropped
+ * from 16 to 8; blocked lost to plain merge on every sweep row, so
+ * Auto no longer selects it (the kernel stays for bench comparison).
+ * On the skew branch Auto also prefers *scalar* gallop: the sweep
+ * shows SimdGallop's vectorized landing window losing to the plain
+ * binary narrow at every ratio >= kGallopRatio, so under Auto the
+ * SIMD tier engages only as SimdMerge (near-equal sizes) and the
+ * word-parallel bitmap path; SimdGallop stays reachable through
+ * KernelMode::Simd and the benchmarks.
+ */
 /// @{
 /** Gallop when the larger list is >= this multiple of the smaller. */
-inline constexpr std::size_t kGallopRatio = 16;
+inline constexpr std::size_t kGallopRatio = 8;
 /** Bitmap (if a hub row exists) at this ratio and above. */
 inline constexpr std::size_t kBitmapRatio = 4;
 /** Blocked merge only when both lists have at least this many. */
 inline constexpr std::size_t kBlockedMinSize = 32;
+/** SIMD kernels engage when the driving list has at least this many
+ *  elements (below this the vector setup outweighs the win). */
+inline constexpr std::size_t kSimdMinSize = 16;
 /// @}
 
 /**
@@ -254,7 +337,7 @@ class KernelDispatcher
   public:
     explicit KernelDispatcher(KernelMode mode = KernelMode::Auto,
                               const Graph *graph = nullptr)
-        : mode_(mode), graph_(graph)
+        : mode_(mode), graph_(graph), simd_(simdAvailable())
     {}
 
     KernelMode mode() const { return mode_; }
@@ -284,6 +367,7 @@ class KernelDispatcher
 
     KernelMode mode_;
     const Graph *graph_;
+    bool simd_; ///< simdAvailable() snapshot at construction
     KernelCounters counters_;
 };
 

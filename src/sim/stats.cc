@@ -209,9 +209,10 @@ std::string
 RunStats::toJson(bool include_host) const
 {
     // Index order follows core::KernelKind.
-    static const char *const kKernelNames[] = {"merge", "blocked",
-                                               "gallop", "bitmap"};
-    std::array<std::uint64_t, 4> kernel_totals{};
+    static const char *const kKernelNames[] = {
+        "merge", "blocked", "gallop",
+        "bitmap", "simd_merge", "simd_gallop"};
+    std::array<std::uint64_t, 6> kernel_totals{};
     for (const NodeStats &node : nodes)
         for (std::size_t k = 0; k < kernel_totals.size(); ++k)
             kernel_totals[k] += node.kernelCalls[k];
@@ -230,12 +231,18 @@ RunStats::toJson(bool include_host) const
        << "  \"messages\": " << totalMessages() << ",\n"
        << "  \"embeddings\": " << totalEmbeddings() << ",\n"
        << "  \"static_cache_hit_rate\": " << staticCacheHitRate()
-       << ",\n"
-       << "  \"kernel_calls\": {";
-    for (std::size_t k = 0; k < kernel_totals.size(); ++k)
-        os << (k == 0 ? "" : ", ") << "\"" << kKernelNames[k]
-           << "\": " << kernel_totals[k];
-    os << "},\n";
+       << ",\n";
+    if (include_host) {
+        // Which kernel executed each set operation depends on the
+        // host (SIMD availability, CPU features), so the per-kind
+        // split lives with the host-only facts: the modeled dump
+        // stays bit-identical across --kernel modes and builds.
+        os << "  \"kernel_calls\": {";
+        for (std::size_t k = 0; k < kernel_totals.size(); ++k)
+            os << (k == 0 ? "" : ", ") << "\"" << kKernelNames[k]
+               << "\": " << kernel_totals[k];
+        os << "},\n";
+    }
     std::uint64_t faults_retried = 0;
     std::uint64_t faults_rerouted = 0;
     std::uint64_t faults_reconstructed = 0;
@@ -290,11 +297,14 @@ RunStats::toJson(bool include_host) const
            << ", \"chunks_replayed\": " << n.chunksReplayed
            << ", \"rerouted\": " << n.reroutedFetches
            << ", \"reconstructed\": " << n.reconstructedLists
-           << ", \"recovery_ns\": " << n.recoveryNs
-           << ", \"kernel_calls\": [";
-        for (std::size_t k = 0; k < n.kernelCalls.size(); ++k)
-            os << (k == 0 ? "" : ", ") << n.kernelCalls[k];
-        os << "]}";
+           << ", \"recovery_ns\": " << n.recoveryNs;
+        if (include_host) {
+            os << ", \"kernel_calls\": [";
+            for (std::size_t k = 0; k < n.kernelCalls.size(); ++k)
+                os << (k == 0 ? "" : ", ") << n.kernelCalls[k];
+            os << "]";
+        }
+        os << "}";
     }
     os << "\n  ]\n}\n";
     return os.str();

@@ -78,11 +78,16 @@ struct NodeStats
 
     /**
      * Set-operation executions per kernel, indexed by
-     * core::KernelKind (merge, blocked, gallop, bitmap).  A plain
-     * array keeps sim/ below core/ in the layering; charges are
-     * canonical, so these tallies never affect modeled time.
+     * core::KernelKind (merge, blocked, gallop, bitmap, simd_merge,
+     * simd_gallop).  A plain array keeps sim/ below core/ in the
+     * layering (engine.cc static_asserts the size against
+     * core::kNumKernelKinds); charges are canonical, so these
+     * tallies never affect modeled time.  Which kernel ran is
+     * host-dependent (SIMD availability), so the split is emitted
+     * only in the host section of the JSON dump — the modeled dump
+     * (toJson(false)) stays bit-identical across modes and builds.
      */
-    std::array<std::uint64_t, 4> kernelCalls{};
+    std::array<std::uint64_t, 6> kernelCalls{};
     /// @}
 
     /** Total modeled wall time of this node. */

@@ -52,8 +52,13 @@ const char *phaseEventName(PhaseEvent event);
 /** One phase transition.  The payload fields are event-specific:
  *  bytes/lists for fetch batches, embedding counts for chunk and
  *  extend events, the vertex id for cache probes, and for
- *  KernelDispatch the call-count delta (value) of one kernel kind
- *  (aux = core::KernelKind index) over the chunk just closed. */
+ *  KernelDispatch the total set-operation delta (value) over the
+ *  chunk just closed, all kernel kinds combined (aux = 0).  The
+ *  total is kernel-mode- and host-invariant — the sequence of set
+ *  operations never depends on which kernel ran them — so trace
+ *  tallies stay bit-identical across --kernel modes and SIMD-on/off
+ *  builds; the per-kind split is host-only detail
+ *  (NodeStats::kernelCalls). */
 struct TraceRecord
 {
     PhaseEvent event;

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <set>
 
 #include "core/cache.hh"
@@ -117,6 +119,37 @@ TEST(Chunk, AppendAndRecover)
     EXPECT_EQ(chunk.parent(i1), i0);
     EXPECT_TRUE(chunk.needsFetch(i0));
     EXPECT_FALSE(chunk.needsFetch(i1));
+}
+
+TEST(Chunk, FrontierColumnsExposeContiguousLayout)
+{
+    // The level-wise frontier layout: vertex/parent columns are
+    // index-aligned spans over the whole chunk, and the fetch list is
+    // the ascending index column of exactly the entries added with
+    // needs_fetch — the fetch phase walks it as one contiguous run.
+    Chunk chunk(1 << 20);
+    const auto i0 = chunk.add(10, core::kNoParent, true);
+    const auto i1 = chunk.add(20, i0, false);
+    const auto i2 = chunk.add(30, i0, true);
+    const auto i3 = chunk.add(40, i1, true);
+
+    const auto verts = chunk.vertexColumn();
+    const auto parents = chunk.parentColumn();
+    ASSERT_EQ(verts.size(), chunk.size());
+    ASSERT_EQ(parents.size(), chunk.size());
+    for (std::uint32_t i = 0; i < chunk.size(); ++i) {
+        EXPECT_EQ(verts[i], chunk.vertex(i));
+        EXPECT_EQ(parents[i], chunk.parent(i));
+    }
+
+    const auto fetch = chunk.fetchList();
+    EXPECT_EQ(std::vector<std::uint32_t>(fetch.begin(), fetch.end()),
+              (std::vector<std::uint32_t>{i0, i2, i3}));
+    EXPECT_TRUE(std::is_sorted(fetch.begin(), fetch.end()));
+
+    chunk.reset();
+    EXPECT_TRUE(chunk.fetchList().empty());
+    EXPECT_TRUE(chunk.vertexColumn().empty());
 }
 
 TEST(Chunk, BudgetGatesFullness)

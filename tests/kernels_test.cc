@@ -97,11 +97,23 @@ expectKernelAgreement(std::span<const VertexId> a,
     EXPECT_EQ(core::gallopIntersectCount(a, b, count), work);
     EXPECT_EQ(count, ref.size());
 
-    // Subtraction: gallop against the reference.
+    EXPECT_EQ(core::simdMergeIntersectInto(a, b, out), work);
+    EXPECT_EQ(out, ref);
+    EXPECT_EQ(core::simdMergeIntersectCount(a, b, count), work);
+    EXPECT_EQ(count, ref.size());
+
+    EXPECT_EQ(core::simdGallopIntersectInto(a, b, out), work);
+    EXPECT_EQ(out, ref);
+    EXPECT_EQ(core::simdGallopIntersectCount(a, b, count), work);
+    EXPECT_EQ(count, ref.size());
+
+    // Subtraction: gallop and SIMD gallop against the reference.
     std::vector<VertexId> sub_ref;
     const core::WorkItems sub_work = core::subtractInto(a, b, sub_ref);
     EXPECT_EQ(core::canonicalSubtractWork(a, b), sub_work);
     EXPECT_EQ(core::gallopSubtractInto(a, b, out), sub_work);
+    EXPECT_EQ(out, sub_ref);
+    EXPECT_EQ(core::simdGallopSubtractInto(a, b, out), sub_work);
     EXPECT_EQ(out, sub_ref);
 }
 
@@ -127,6 +139,129 @@ TEST(Kernels, RandomizedPairsAgree)
         const auto b = randomList(size_b, universe, 2000 + trial);
         SCOPED_TRACE("trial " + std::to_string(trial));
         expectKernelAgreement(a, b);
+    }
+}
+
+/**
+ * Exhaustive residue/alignment sweep for the SIMD tier: the AVX2
+ * merge consumes 8-wide blocks with a scalar tail and the gallop
+ * probe loads an 8-lane window, so every tail residue mod 8 (0..7)
+ * of BOTH lists and misaligned span starts must agree byte-for-byte
+ * with the scalar kernels, including empty and singleton lists.
+ */
+TEST(Kernels, SimdResidueAndAlignmentSweep)
+{
+    for (const std::size_t base_a : {0ul, 8ul, 64ul, 248ul})
+        for (std::size_t ra = 0; ra < 8; ++ra)
+            for (const std::size_t base_b : {0ul, 8ul, 512ul})
+                for (std::size_t rb = 0; rb < 8; rb += 3) {
+                    const std::size_t na = base_a + ra;
+                    const std::size_t nb = base_b + rb;
+                    const auto a = randomList(na, 2048, 7000 + na);
+                    const auto b = randomList(nb, 2048, 8000 + nb);
+                    SCOPED_TRACE("sizes " + std::to_string(a.size())
+                                 + " x " + std::to_string(b.size()));
+                    expectKernelAgreement(a, b);
+                    // Misaligned starts: drop the first element so
+                    // the span no longer begins on the vector's
+                    // natural boundary.
+                    if (!a.empty() && !b.empty())
+                        expectKernelAgreement(
+                            std::span<const VertexId>(a).subspan(1),
+                            std::span<const VertexId>(b).subspan(1));
+                }
+}
+
+/**
+ * The host-side kill switch must force the scalar fallback inside an
+ * AVX2 binary with byte-identical outputs and charges — this is the
+ * same code path a non-AVX2 host takes, so the sweep proves the
+ * fallback cannot rot even when CI only has wide machines.
+ */
+TEST(Kernels, SimdKillSwitchFallbackIsByteIdentical)
+{
+    const bool was_available = core::simdAvailable();
+    const auto a = randomList(517, 4096, 31);   // residue 5
+    const auto b = randomList(4096, 8192, 32);  // skewed partner
+
+    std::vector<VertexId> simd_out, scalar_out;
+    const core::WorkItems w_on =
+        core::simdMergeIntersectInto(a, b, simd_out);
+
+    core::setSimdEnabled(false);
+    EXPECT_FALSE(core::simdAvailable());
+    const core::WorkItems w_off =
+        core::simdMergeIntersectInto(a, b, scalar_out);
+    EXPECT_EQ(w_on, w_off);
+    EXPECT_EQ(simd_out, scalar_out);
+
+    // The whole agreement battery must also hold with the tier off.
+    expectKernelAgreement(a, b);
+    expectKernelAgreement(b, a);
+
+    core::setSimdEnabled(true);
+    EXPECT_EQ(core::simdAvailable(), was_available);
+    if (!was_available)
+        return; // scalar-only build/host: nothing more to compare
+    expectKernelAgreement(a, b);
+
+    const core::WorkItems w_back =
+        core::simdGallopIntersectInto(a, b, simd_out);
+    core::setSimdEnabled(false);
+    EXPECT_EQ(core::simdGallopIntersectInto(a, b, scalar_out), w_back);
+    EXPECT_EQ(simd_out, scalar_out);
+    core::setSimdEnabled(true);
+}
+
+/**
+ * Word-parallel bitmap probes (gather + variable shift) vs. the
+ * scalar bit-test loop, across driving-list residues and both filter
+ * polarities (intersect keeps members, subtract drops them).
+ */
+TEST(Kernels, SimdBitmapPathMatchesScalarOnHubLists)
+{
+    const Graph g = gen::rmat(2048, 20000, 0.57, 0.19, 0.19, 5);
+    g.buildHubBitmaps(8, 32ull << 20);
+    VertexId hub = 0;
+    for (VertexId v = 1; v < g.numVertices(); ++v)
+        if (g.degree(v) > g.degree(hub))
+            hub = v;
+    const std::uint64_t *row = g.hubBitmapRow(hub);
+    ASSERT_NE(row, nullptr);
+    const auto hub_list = g.neighbors(hub);
+
+    for (std::size_t size = core::kSimdMinSize;
+         size < core::kSimdMinSize + 8; ++size) {
+        const auto a = randomList(size, g.numVertices(), 600 + size);
+        SCOPED_TRACE("driver size " + std::to_string(a.size()));
+
+        std::vector<VertexId> ref, out;
+        Count count = 0;
+        const core::WorkItems work =
+            core::intersectInto(a, hub_list, ref);
+        EXPECT_EQ(core::bitmapIntersectInto(a, hub_list, row, out),
+                  work);
+        EXPECT_EQ(out, ref);
+        EXPECT_EQ(core::bitmapIntersectCount(a, hub_list, row, count),
+                  work);
+        EXPECT_EQ(count, ref.size());
+
+        std::vector<VertexId> sub_ref;
+        const core::WorkItems sub_work =
+            core::subtractInto(a, hub_list, sub_ref);
+        EXPECT_EQ(core::bitmapSubtractInto(a, hub_list, row, out),
+                  sub_work);
+        EXPECT_EQ(out, sub_ref);
+
+        // Same inputs with the tier off: identical bytes and charges.
+        core::setSimdEnabled(false);
+        EXPECT_EQ(core::bitmapIntersectInto(a, hub_list, row, out),
+                  work);
+        EXPECT_EQ(out, ref);
+        EXPECT_EQ(core::bitmapSubtractInto(a, hub_list, row, out),
+                  sub_work);
+        EXPECT_EQ(out, sub_ref);
+        core::setSimdEnabled(true);
     }
 }
 
@@ -186,7 +321,8 @@ TEST(Kernels, DispatcherIsModeInvariant)
 
     for (const core::KernelMode mode :
          {core::KernelMode::Auto, core::KernelMode::Merge,
-          core::KernelMode::Gallop, core::KernelMode::Bitmap}) {
+          core::KernelMode::Gallop, core::KernelMode::Bitmap,
+          core::KernelMode::Simd}) {
         core::KernelDispatcher dispatcher(mode, &g);
         EXPECT_EQ(dispatcher.intersectInto(core::ListRef(small),
                                            hub_ref, out),
@@ -224,17 +360,26 @@ TEST(Kernels, DispatcherCountersAttributeKernels)
         EXPECT_EQ(dispatcher.counters()[core::KernelKind::Gallop], 1u);
     }
 
-    // Near-equal large lists: blocked merge.
+    // Near-equal large lists: SIMD merge when the tier is live,
+    // plain merge otherwise (blocked was demoted from Auto — the
+    // calibration sweep showed it losing to merge on every row).
     const auto a = randomList(500, 4096, 2);
     const auto b = randomList(500, 4096, 3);
     dispatcher.intersectInto(core::ListRef(a), core::ListRef(b), out);
-    EXPECT_EQ(dispatcher.counters()[core::KernelKind::Blocked], 1u);
+    EXPECT_EQ(dispatcher.counters()[core::KernelKind::Blocked], 0u);
+    if (core::simdAvailable())
+        EXPECT_EQ(dispatcher.counters()[core::KernelKind::SimdMerge],
+                  1u);
+    else
+        EXPECT_EQ(dispatcher.counters()[core::KernelKind::Merge], 1u);
 
-    // Small near-equal lists: reference merge.
+    // Tiny near-equal lists (below kSimdMinSize): reference merge.
+    const core::KernelCounters before = dispatcher.counters();
     const auto sa = randomList(8, 64, 4);
     const auto sb = randomList(8, 64, 5);
     dispatcher.intersectInto(core::ListRef(sa), core::ListRef(sb), out);
-    EXPECT_EQ(dispatcher.counters()[core::KernelKind::Merge], 1u);
+    EXPECT_EQ(dispatcher.counters()[core::KernelKind::Merge],
+              before[core::KernelKind::Merge] + 1);
 }
 
 TEST(Kernels, ManyListFoldsMatchAcrossDispatchAndReference)
@@ -349,10 +494,12 @@ TEST(Kernels, ModeNamesRoundTrip)
 {
     for (const core::KernelMode mode :
          {core::KernelMode::Auto, core::KernelMode::Merge,
-          core::KernelMode::Gallop, core::KernelMode::Bitmap})
+          core::KernelMode::Gallop, core::KernelMode::Bitmap,
+          core::KernelMode::Simd})
         EXPECT_EQ(core::parseKernelMode(core::kernelModeName(mode)),
                   mode);
-    EXPECT_THROW(core::parseKernelMode("simd"), FatalError);
+    EXPECT_THROW(core::parseKernelMode("avx2"), FatalError);
+    EXPECT_THROW(core::parseKernelMode("blocked"), FatalError);
 }
 
 } // namespace

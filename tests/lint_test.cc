@@ -66,6 +66,7 @@ TEST(LintRules, TableListsEveryContractRule)
     const std::vector<std::string> expected = {
         "wall-clock",   "prng",         "unordered-iter",
         "thread-primitive", "fabric-mutation", "fault-modeled-state",
+        "simd-intrinsics",
         "header-guard", "using-namespace-header"};
     EXPECT_EQ(ids, expected);
     for (const std::string &id : ids)
@@ -339,6 +340,60 @@ TEST(LintFaultState, AnnotationSuppressesWithReason)
                        "double w = t.elapsedNs();\n");
     EXPECT_EQ(liveCount(r, "fault-modeled-state"), 0);
     EXPECT_EQ(suppressedCount(r, "fault-modeled-state"), 1);
+}
+
+// ----------------------------------------------------------------
+// simd-intrinsics.
+// ----------------------------------------------------------------
+
+TEST(LintSimdIntrinsics, FlagsIntrinsicsOutsideKernelTier)
+{
+    const std::string code = "#include <immintrin.h>\n"
+                             "__m256i v = _mm256_loadu_si256(p);\n"
+                             "int m = __builtin_ia32_pmovmskb256(x);\n";
+    EXPECT_EQ(liveCount(run("src/core/extender.cc", code),
+                        "simd-intrinsics"),
+              3);
+    EXPECT_EQ(liveCount(run("src/graph/graph.cc", code),
+                        "simd-intrinsics"),
+              3);
+    EXPECT_EQ(liveCount(run("src/sim/fabric.cc", code),
+                        "simd-intrinsics"),
+              3);
+}
+
+TEST(LintSimdIntrinsics, KernelTierIsExempt)
+{
+    const std::string code = "#include <immintrin.h>\n"
+                             "__m256i v = _mm256_setzero_si256();\n";
+    EXPECT_EQ(liveCount(run("src/core/kernels/simd.cc", code),
+                        "simd-intrinsics"),
+              0);
+    EXPECT_EQ(liveCount(run("src/core/kernels/bitmap.cc", code),
+                        "simd-intrinsics"),
+              0);
+}
+
+TEST(LintSimdIntrinsics, ScalarMentionsAreNotIntrinsics)
+{
+    // Prose, strings and near-miss identifiers must not trip the
+    // token rules; real intrinsic calls in comments are still prose.
+    const auto r = run("src/core/engine.cc",
+                       "// _mm256_add_epi32 mentioned in prose\n"
+                       "const char *s = \"__m256i\";\n"
+                       "int simd_merge_calls = 0;\n"
+                       "int mm_total = mm_count(3);\n");
+    EXPECT_EQ(liveCount(r, "simd-intrinsics"), 0);
+}
+
+TEST(LintSimdIntrinsics, AnnotationSuppressesWithReason)
+{
+    const auto r = run("src/graph/builder.cc",
+                       "// khuzdul-lint: allow(simd-intrinsics) "
+                       "prefetch hint only, no data-dependent lanes\n"
+                       "_mm_prefetch(ptr, 1);\n");
+    EXPECT_EQ(liveCount(r, "simd-intrinsics"), 0);
+    EXPECT_EQ(suppressedCount(r, "simd-intrinsics"), 1);
 }
 
 // ----------------------------------------------------------------

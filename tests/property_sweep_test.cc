@@ -229,10 +229,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomPatternPlans,
                          testing::Range(0, 12));
 
 /**
- * Kernel-choice invariance: under every --kernel mode the engine's
- * counts match the brute-force oracle, and modeled makespan and
- * intersection work are bit-identical — kernels only change host
- * wall-clock, never the simulated machine.
+ * Kernel-choice invariance: under every --kernel mode — and with the
+ * SIMD tier forced off via the kill switch — the engine's counts
+ * match the brute-force oracle, and every modeled artifact (the full
+ * host-free RunStats dump, the per-link fabric ledger, the ordered
+ * phase-event tallies) is bit-identical.  Kernels only change host
+ * wall-clock, never the simulated machine (DESIGN.md §5.6).
  */
 class KernelModeSweep : public testing::TestWithParam<core::KernelMode>
 {
@@ -250,14 +252,49 @@ TEST_P(KernelModeSweep, CountsAndModeledTimeAreModeInvariant)
     reference_config.kernelMode = core::KernelMode::Merge;
     config.kernelMode = GetParam();
 
+    const auto expectModeledArtifactsEqual =
+        [&](core::Engine &engine, core::Engine &reference,
+            const char *what) {
+            EXPECT_EQ(engine.stats().toJson(false),
+                      reference.stats().toJson(false))
+                << what;
+            const NodeId nodes = config.cluster.numNodes;
+            for (NodeId src = 0; src < nodes; ++src)
+                for (NodeId dst = 0; dst < nodes; ++dst) {
+                    EXPECT_EQ(engine.fabric().linkBytes(src, dst),
+                              reference.fabric().linkBytes(src, dst))
+                        << what << " " << src << "<-" << dst;
+                    EXPECT_EQ(engine.fabric().linkMessages(src, dst),
+                              reference.fabric().linkMessages(src, dst))
+                        << what << " " << src << "<-" << dst;
+                }
+            for (std::size_t e = 0; e < sim::kNumPhaseEvents; ++e) {
+                const auto event = static_cast<sim::PhaseEvent>(e);
+                EXPECT_EQ(engine.traceCounts().count(event),
+                          reference.traceCounts().count(event))
+                    << what << " " << sim::phaseEventName(event);
+                EXPECT_EQ(engine.traceCounts().valueSum(event),
+                          reference.traceCounts().valueSum(event))
+                    << what << " " << sim::phaseEventName(event);
+            }
+        };
+
     for (const Pattern &p :
          {Pattern::triangle(), Pattern::clique(4), Pattern::cycleOf(4),
           Pattern::diamond()}) {
         const auto plan = compileAutomine(p, {});
         core::Engine reference(g, reference_config);
         core::Engine engine(g, config);
+        // Dispatchers snapshot SIMD availability at construction, so
+        // building this engine after flipping the kill switch runs
+        // the same mode on the scalar fallback path.
+        core::setSimdEnabled(false);
+        core::Engine scalar_engine(g, config);
+        core::setSimdEnabled(true);
+
         EXPECT_EQ(engine.run(plan), oracle(p)) << p.toString();
         ASSERT_EQ(reference.run(plan), oracle(p)) << p.toString();
+        EXPECT_EQ(scalar_engine.run(plan), oracle(p)) << p.toString();
         EXPECT_EQ(engine.stats().makespanNs(),
                   reference.stats().makespanNs())
             << p.toString();
@@ -268,6 +305,10 @@ TEST_P(KernelModeSweep, CountsAndModeledTimeAreModeInvariant)
             ref_items += reference.stats().nodes[u].intersectionItems;
         }
         EXPECT_EQ(items, ref_items) << p.toString();
+
+        expectModeledArtifactsEqual(engine, reference, p.toString().c_str());
+        expectModeledArtifactsEqual(scalar_engine, reference,
+                                    p.toString().c_str());
     }
 }
 
@@ -275,7 +316,8 @@ INSTANTIATE_TEST_SUITE_P(Modes, KernelModeSweep,
                          testing::Values(core::KernelMode::Auto,
                                          core::KernelMode::Merge,
                                          core::KernelMode::Gallop,
-                                         core::KernelMode::Bitmap));
+                                         core::KernelMode::Bitmap,
+                                         core::KernelMode::Simd));
 
 /**
  * Host-thread invariance: running the simulated units on any number

@@ -220,8 +220,8 @@ TEST(RunStats, ToJsonCarriesTotalsAndNodes)
     stats.nodes[0].messagesSent = 3;
     stats.nodes[1].staticCacheHits = 3;
     stats.nodes[1].staticCacheMisses = 1;
-    stats.nodes[0].kernelCalls = {7, 0, 2, 1};
-    stats.nodes[1].kernelCalls = {1, 0, 0, 0};
+    stats.nodes[0].kernelCalls = {7, 0, 2, 1, 5, 0};
+    stats.nodes[1].kernelCalls = {1, 0, 0, 0, 0, 2};
     const std::string json = stats.toJson();
     EXPECT_NE(json.find("\"makespan_ns\": 105"), std::string::npos);
     EXPECT_NE(json.find("\"bytes_sent\": 1234"), std::string::npos);
@@ -230,13 +230,21 @@ TEST(RunStats, ToJsonCarriesTotalsAndNodes)
               std::string::npos);
     EXPECT_NE(json.find("\"kernel_calls\": {\"merge\": 8, "
                         "\"blocked\": 0, \"gallop\": 2, "
-                        "\"bitmap\": 1}"),
+                        "\"bitmap\": 1, \"simd_merge\": 5, "
+                        "\"simd_gallop\": 2}"),
               std::string::npos);
     EXPECT_NE(json.find("\"nodes\": ["), std::string::npos);
     // One object per node, plus the root, kernel_calls and faults
     // objects.
     EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 5);
     EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 5);
+
+    // The kernel split is a host-side fact (it depends on CPU
+    // features), so the modeled dump omits it entirely — top-level
+    // block and per-node arrays both.
+    const std::string modeled = stats.toJson(false);
+    EXPECT_EQ(modeled.find("kernel_calls"), std::string::npos);
+    EXPECT_NE(modeled.find("\"makespan_ns\": 105"), std::string::npos);
 }
 
 TEST(RunStats, EmptyStatsAreSafe)

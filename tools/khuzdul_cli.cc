@@ -551,7 +551,7 @@ cmdHelp(const std::string &topic)
                   "  [--nodes N] [--sockets S] [--chunk-bytes B]\n"
                   "  [--cache-fraction F] [--no-cache] [--no-hds] "
                   "[--no-numa]\n"
-                  "  [--kernel auto|merge|gallop|bitmap]\n"
+                  "  [--kernel auto|merge|gallop|bitmap|simd]\n"
                   "  [--threads N]  host threads running simulated "
                   "units (0 = all;\n"
                   "                 modeled results identical for "

@@ -50,6 +50,11 @@ ruleTable()
          "ledger state — no Timer/hostWallNs/elapsedNs or "
          "support/timer.hh in sim/faults.* or the provider/circulant "
          "recovery paths"},
+        {"simd-intrinsics", RuleScope::AllSources,
+         "x86 intrinsics (immintrin.h/_mm*/__m256/...) only in "
+         "src/core/kernels/ — the SIMD tier is the one place where "
+         "host CPU features may shape execution; everywhere else "
+         "needs an annotation or allowlist entry"},
         {"header-guard", RuleScope::HeadersOnly,
          "every header opens with #pragma once or an #ifndef guard"},
         {"using-namespace-header", RuleScope::HeadersOnly,
@@ -365,6 +370,14 @@ tokenRules()
              "Fabric::apply or CirculantScheduler::issue",
              false});
         r.push_back(
+            {"simd-intrinsics",
+             std::regex(R"(#\s*include\s*<(immintrin|x86intrin|emmintrin|xmmintrin|smmintrin|tmmintrin|nmmintrin|avxintrin|avx2intrin)\.h>|\b_mm\d*_\w+\s*\(|\b__m(128|256|512)[id]?\b|\b__builtin_ia32_\w+)"),
+             "x86 intrinsic outside src/core/kernels/ — vectorized "
+             "code lives in the kernel tier behind runtime feature "
+             "detection so every other layer stays portable and "
+             "host-invariant",
+             false});
+        r.push_back(
             {"fault-modeled-state",
              std::regex(R"(\b(hostWallNs|elapsedNs|elapsedSeconds|Timer)\b|\btimer\.hh\b)"),
              "host-time symbol in a fault/recovery path — fault "
@@ -389,6 +402,8 @@ ruleAppliesTo(const std::string &rule, const std::string &path)
         return isModeledZone(path) && !isFabricImpl(path);
     if (rule == "fault-modeled-state")
         return isRecoveryPath(path);
+    if (rule == "simd-intrinsics")
+        return !pathHasDir(path, "src/core/kernels");
     return true; // wall-clock, prng: every scanned file
 }
 
