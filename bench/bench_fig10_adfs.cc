@@ -30,9 +30,9 @@ main()
                   "on 8 nodes)");
 
     bench::TablePrinter table(
-        {"Graph", "aDFS~", "k-Automine", "k-GraphPi", "aDFS traffic",
-         "Khuzdul traffic", "speedup"},
-        {9, 9, 11, 11, 12, 15, 8});
+        {"Graph", "aDFS~", "k-Automine", "k-GraphPi", "with stealing",
+         "aDFS traffic", "Khuzdul traffic", "speedup"},
+        {9, 9, 11, 11, 13, 12, 15, 8});
     table.printHeader();
 
     const bench::App tc = bench::appByName("TC");
@@ -53,10 +53,25 @@ main()
             dataset.graph, bench::standInEngineConfig(8));
         const auto g = bench::runOnKhuzdul(*graphpi, tc);
 
-        const double best = std::min(a.makespanNs, g.makespanNs);
+        // Same engine with the post-barrier steal pass on
+        // (DESIGN.md §11): the planner only accepts strictly
+        // profitable migrations, so on this healthy fabric the
+        // column must never exceed plain k-GraphPi.
+        core::EngineConfig steal_config = bench::standInEngineConfig(8);
+        steal_config.stealEnabled = true;
+        auto stealing = engines::KhuzdulSystem::kGraphPi(
+            dataset.graph, steal_config);
+        const auto s = bench::runOnKhuzdul(*stealing, tc);
+        KHUZDUL_CHECK(s.count == moved.count, "count mismatch");
+        KHUZDUL_CHECK(s.makespanNs <= g.makespanNs,
+                      "stealing lost on a healthy fabric");
+
+        const double best = std::min({a.makespanNs, g.makespanNs,
+                                      s.makespanNs});
         table.printRow({graph_name, bench::fmtTime(moved.makespanNs),
                         bench::fmtTime(a.makespanNs),
                         bench::fmtTime(g.makespanNs),
+                        bench::fmtTime(s.makespanNs),
                         formatBytes(moved.stats.totalBytesSent()),
                         formatBytes(a.stats.totalBytesSent()),
                         formatRatio(moved.makespanNs / best)});

@@ -70,6 +70,7 @@ CirculantScheduler::issue(sim::TransferRecorder &recorder,
                                              cost->timeoutNs);
             if (!outcome.faulted) {
                 batch.commNs += outcome.chargeNs;
+                batch.baseCommNs += base;
                 if (outcome.degraded)
                     stats.recoveryNs += outcome.chargeNs - base;
                 if (cross)
@@ -124,7 +125,8 @@ CirculantScheduler::issue(sim::Fabric &fabric, sim::RunStats &run,
 }
 
 CirculantScheduler::Timeline
-CirculantScheduler::pipeline(unsigned cores, double penalty) const
+CirculantScheduler::foldPipeline(unsigned cores, double penalty,
+                                 double Batch::*comm_field) const
 {
     // Computation of batch i overlaps the fetch of batch i+1;
     // fetches are issued eagerly in order.
@@ -135,7 +137,7 @@ CirculantScheduler::pipeline(unsigned cores, double penalty) const
         // Without NUMA awareness, communication buffers and the
         // graph partition live in interleaved memory, slowing the
         // transfer path along with computation.
-        const double comm = batch.commNs * penalty;
+        const double comm = batch.*comm_field * penalty;
         comm_done += comm;
         t.commNs += comm;
         const double work = batch.workNs / cores * penalty;
@@ -144,6 +146,18 @@ CirculantScheduler::pipeline(unsigned cores, double penalty) const
     }
     t.exposedNs = finish - t.computeNs;
     return t;
+}
+
+CirculantScheduler::Timeline
+CirculantScheduler::pipeline(unsigned cores, double penalty) const
+{
+    return foldPipeline(cores, penalty, &Batch::commNs);
+}
+
+CirculantScheduler::Timeline
+CirculantScheduler::basePipeline(unsigned cores, double penalty) const
+{
+    return foldPipeline(cores, penalty, &Batch::baseCommNs);
 }
 
 } // namespace core

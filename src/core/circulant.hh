@@ -140,15 +140,32 @@ class CirculantScheduler
      */
     Timeline pipeline(unsigned cores, double penalty) const;
 
+    /**
+     * Same fold over the fault-free transfer prices: what this
+     * chunk would have cost had no attempt faulted or been
+     * degraded.  This is the donate/accept ledger the steal planner
+     * (DESIGN.md §11) prices a migrated chunk with — a healthy
+     * thief re-fetches the lists at clean prices, it does not
+     * inherit the victim's fault history.
+     */
+    Timeline basePipeline(unsigned cores, double penalty) const;
+
   private:
     /** Transient per-owner batch ledger. */
     struct Batch
     {
         double commNs = 0;  ///< modeled transfer time of this batch
+        /** Fault-free price of the batch: the clean transfer cost of
+         *  the successful attempt only (no retries, no backoff, no
+         *  degradation surcharge). */
+        double baseCommNs = 0;
         double workNs = 0;  ///< raw single-core extension work
         std::uint64_t bytes = 0;
         std::uint64_t lists = 0;
     };
+
+    Timeline foldPipeline(unsigned cores, double penalty,
+                          double Batch::*comm_field) const;
 
     unsigned unit_;
     unsigned numUnits_;

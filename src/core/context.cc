@@ -122,12 +122,39 @@ GraphContext::sharedLinkMessages(NodeId src, NodeId dst) const
 }
 
 void
+GraphContext::absorbSteals(std::uint64_t chunks, std::uint64_t bytes)
+{
+    // khuzdul-lint: allow(thread-primitive) cumulative registry fold; uint64 sums are admission-order independent
+    std::lock_guard<std::mutex> lock(mutex_);
+    sharedStealChunks_ += chunks;
+    sharedStealBytes_ += bytes;
+}
+
+std::uint64_t
+GraphContext::sharedStealCount() const
+{
+    // khuzdul-lint: allow(thread-primitive) observability read of the cumulative steal registry
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sharedStealChunks_;
+}
+
+std::uint64_t
+GraphContext::sharedStealBytes() const
+{
+    // khuzdul-lint: allow(thread-primitive) observability read of the cumulative steal registry
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sharedStealBytes_;
+}
+
+void
 GraphContext::clearCaches()
 {
     residency_.clear();
     // khuzdul-lint: allow(thread-primitive) cumulative ledger wipe alongside the residency directory
     std::lock_guard<std::mutex> lock(mutex_);
     sharedFabric_.reset();
+    sharedStealChunks_ = 0;
+    sharedStealBytes_ = 0;
 }
 
 } // namespace core

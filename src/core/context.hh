@@ -140,6 +140,19 @@ class GraphContext
     std::uint64_t sharedLinkMessages(NodeId src, NodeId dst) const;
     /// @}
 
+    /** @name Cumulative steal registry (DESIGN.md §11)
+     *
+     * Every session folds its steal pass's outcome in after each
+     * run, mirroring the traffic ledger: pure uint64 sums, so the
+     * cumulative tallies are independent of admission order.
+     * Per-query attribution lives in the sessions' RunStats.
+     */
+    /// @{
+    void absorbSteals(std::uint64_t chunks, std::uint64_t bytes);
+    std::uint64_t sharedStealCount() const;
+    std::uint64_t sharedStealBytes() const;
+    /// @}
+
     /** @name Cross-query reuse counters (host observability) */
     /// @{
     std::uint64_t crossQueryHits() const { return residency_.hits(); }
@@ -167,6 +180,8 @@ class GraphContext
     // khuzdul-lint: allow(thread-primitive) host-side guard; protects observability and build-once state only
     mutable std::mutex mutex_;
     sim::Fabric sharedFabric_;
+    std::uint64_t sharedStealChunks_ = 0;
+    std::uint64_t sharedStealBytes_ = 0;
     bool hubBitmapsBuilt_ = false;
     std::unique_ptr<GraphProfile> profile_;
     std::unique_ptr<Graph> oriented_;

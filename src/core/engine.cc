@@ -9,6 +9,7 @@
 #include "core/extender.hh"
 #include "core/horizontal.hh"
 #include "core/parallel/thread_pool.hh"
+#include "core/steal/steal.hh"
 #include "support/check.hh"
 
 namespace khuzdul
@@ -40,10 +41,12 @@ class HybridExplorer
                    sim::NodeStats &stats,
                    sim::TransferRecorder &recorder,
                    std::span<std::uint64_t> sent_bytes,
-                   sim::TraceSink &sink)
+                   sim::TraceSink &sink,
+                   std::vector<ChunkRecord> *steal_ledger)
         : engine_(engine), graph_(*engine.graph_), plan_(plan),
           visitor_(visitor), unit_(unit), stats_(stats),
           recorder_(recorder), sentBytes_(sent_bytes), sink_(sink),
+          stealLedger_(steal_ledger),
           provider_(*engine.providers_[unit]),
           faults_(engine.faultSessions_.empty()
                       ? nullptr
@@ -217,6 +220,17 @@ class HybridExplorer
         stats_.computeNs += t.computeNs;
         stats_.commTotalNs += t.commNs;
         stats_.commExposedNs += t.exposedNs;
+        if (stealLedger_) {
+            // Donation ledger (DESIGN.md §11): remember what this
+            // chunk charged, and the fault-free prices a healthy
+            // thief re-fetching the same lists would pay.
+            const auto base =
+                scheds_[level].basePipeline(cores_, penalty_);
+            stealLedger_->push_back(
+                {unit_, level, chunk.size(),
+                 columnWireBytes(chunk.size(), level), t.computeNs,
+                 t.commNs, t.exposedNs, base.commNs, base.exposedNs});
+        }
         flushKernelCounters(level);
         trace().emit({sim::PhaseEvent::ChunkClose, unit_, level,
                       chunk.size(), 0});
@@ -260,6 +274,7 @@ class HybridExplorer
     sim::TransferRecorder &recorder_;
     std::span<std::uint64_t> sentBytes_;
     sim::TraceSink &sink_;
+    std::vector<ChunkRecord> *stealLedger_;
     EdgeListProvider &provider_;
     sim::FaultSession *faults_;
     PlanExtender extender_;
@@ -304,6 +319,8 @@ EngineConfig::session() const
     session.kernelMode = kernelMode;
     session.hostThreads = hostThreads;
     session.faults = faults;
+    session.stealEnabled = stealEnabled;
+    session.stealBacklogThresholdNs = stealBacklogThresholdNs;
     return session;
 }
 
@@ -332,6 +349,8 @@ composeConfig(const GraphSetup &setup, const SessionConfig &session)
     config.kernelMode = session.kernelMode;
     config.hostThreads = session.hostThreads;
     config.faults = session.faults;
+    config.stealEnabled = session.stealEnabled;
+    config.stealBacklogThresholdNs = session.stealBacklogThresholdNs;
     return config;
 }
 
@@ -434,12 +453,17 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
     std::vector<std::vector<std::uint64_t>> sent(
         units, std::vector<std::uint64_t>(units, 0));
     std::vector<std::int64_t> raws(units, 0);
+    // Per-unit donation ledgers for the post-barrier steal pass
+    // (DESIGN.md §11); each unit appends only to its own slot.
+    std::vector<std::vector<ChunkRecord>> stealLedgers(
+        session_.stealEnabled ? units : 0);
 
     const auto run_unit = [&](std::size_t u) {
         unitSinks_[u]->clear(); // drop leftovers of a failed run
         HybridExplorer explorer(
             *this, static_cast<unsigned>(u), plan, visitor,
-            stats_.nodes[u], deltas[u], sent[u], *unitSinks_[u]);
+            stats_.nodes[u], deltas[u], sent[u], *unitSinks_[u],
+            session_.stealEnabled ? &stealLedgers[u] : nullptr);
         raws[u] = explorer.run();
     };
 
@@ -468,6 +492,64 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
         for (unsigned o = 0; o < units; ++o)
             stats_.nodes[o].bytesSent += sent[u][o];
         raw += raws[u];
+    }
+
+    // Post-barrier steal pass (DESIGN.md §11): rebalance tail
+    // chunks from backlogged units onto idle ones.  Runs strictly
+    // after the ordered merge, over merged modeled state only, so
+    // the stolen schedule is the same pure function of the config
+    // the rest of the modeled machine is.  Counts are never
+    // touched — only modeled time, traffic and attribution move.
+    if (session_.stealEnabled && units > 1) {
+        std::vector<double> finish(units, 0);
+        for (unsigned u = 0; u < units; ++u)
+            finish[u] = stats_.nodes[u].totalNs();
+        const StealPlanner planner(
+            fabric_, session_.stealBacklogThresholdNs);
+        const auto decisions =
+            planner.plan(std::move(stealLedgers), std::move(finish));
+        const double handshake = config_.cost.stealHandshakeNs;
+        const unsigned units_per_node = partition_.socketsPerNode();
+        std::uint64_t steal_bytes = 0;
+        for (const StealDecision &d : decisions) {
+            const ChunkRecord &rec = d.chunk;
+            const NodeId tn = d.thief / units_per_node;
+            const NodeId vn = d.victim / units_per_node;
+            tracer_.emit({sim::PhaseEvent::StealIssued, d.thief,
+                          rec.level, rec.columnBytes, d.victim});
+            // khuzdul-lint: allow(fabric-mutation) steal commit: the sequential post-merge pass IS the sanctioned entry point
+            fabric_.recordTransfer(tn, vn, rec.columnBytes, 1);
+            sim::NodeStats &thief = stats_.nodes[d.thief];
+            sim::NodeStats &victim = stats_.nodes[d.victim];
+            // Mirror of the planner's finish[] update: the thief
+            // re-executes the chunk at fault-free prices plus the
+            // column transfer; the victim sheds exactly what its
+            // ledger recorded and keeps the handshake.  recoveryNs
+            // and replay waste stay with the victim — the fault
+            // history happened on its watch.
+            thief.computeNs += rec.computeNs;
+            thief.commExposedNs += rec.baseExposedNs + d.transferNs;
+            thief.commTotalNs += rec.baseCommNs + d.transferNs;
+            thief.schedulerNs += handshake;
+            thief.bytesReceived += rec.columnBytes;
+            thief.messagesSent += 1;
+            thief.chunksStolen += 1;
+            thief.stealBytesIn += rec.columnBytes;
+            thief.stealOverheadNs += handshake + d.transferNs;
+            victim.computeNs -= rec.computeNs;
+            victim.commExposedNs -= rec.exposedNs;
+            victim.commTotalNs -= rec.commNs;
+            victim.schedulerNs += handshake;
+            victim.bytesSent += rec.columnBytes;
+            victim.chunksDonated += 1;
+            victim.stealBytesOut += rec.columnBytes;
+            victim.stealOverheadNs += handshake;
+            steal_bytes += rec.columnBytes;
+            tracer_.emit({sim::PhaseEvent::StealCompleted, d.thief,
+                          rec.level, rec.embeddings, d.victim});
+        }
+        if (!decisions.empty())
+            context_->absorbSteals(decisions.size(), steal_bytes);
     }
 
     // Cross-query residency observations (host block of the stats;

@@ -91,6 +91,21 @@ struct SessionConfig
      * healthy fabric.
      */
     sim::FaultPlan faults;
+
+    /**
+     * Deterministic inter-unit work stealing (DESIGN.md §11, CLI
+     * `--steal`).  A post-barrier planning pass over the merged
+     * per-chunk ledgers migrates tail chunks from backlogged units
+     * to idle ones, pricing the embedding-column transfer and a
+     * handshake through the fabric.  Purely modeled: counts never
+     * change, and for a fixed config the stolen schedule is
+     * bit-identical at every hostThreads value and fault plan.
+     */
+    bool stealEnabled = false;
+
+    /** Minimum remaining modeled backlog (ns) before a unit is
+     *  considered a steal victim (CLI `--steal-threshold`). */
+    double stealBacklogThresholdNs = 1.0e5;
 };
 
 /** All engine tunables; defaults mirror the paper's configuration
@@ -173,6 +188,13 @@ struct EngineConfig
      * exhausted chunks are replayed, never dropped.
      */
     sim::FaultPlan faults;
+
+    /** Deterministic inter-unit work stealing (DESIGN.md §11); see
+     *  SessionConfig::stealEnabled for the contract. */
+    bool stealEnabled = false;
+
+    /** Minimum modeled backlog (ns) before a unit donates. */
+    double stealBacklogThresholdNs = 1.0e5;
 
     /** The graph-resident half (GraphContext construction). */
     GraphSetup graphSetup() const;

@@ -84,6 +84,15 @@ struct CostModel
     double retryBackoffNs = 1.0e5;
     /// @}
 
+    /** @name Work stealing (DESIGN.md §11) */
+    /// @{
+    /** Fixed handshake per stolen chunk: steal request, grant and
+     *  donation-ledger bookkeeping on both ends.  Charged to thief
+     *  and victim alike, on top of the fabric transfer of the
+     *  embedding columns. */
+    double stealHandshakeNs = 2500.0;
+    /// @}
+
     /** @name G-thinker specific overheads (§2.3, Fig 15) */
     /// @{
     /** Cache map update per requested vertex (task<->data map). */

@@ -127,6 +127,33 @@ RunStats::totalRecoveryNs() const
     return total;
 }
 
+std::uint64_t
+RunStats::totalChunksStolen() const
+{
+    std::uint64_t total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.chunksStolen;
+    return total;
+}
+
+std::uint64_t
+RunStats::totalStealBytes() const
+{
+    std::uint64_t total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.stealBytesIn;
+    return total;
+}
+
+double
+RunStats::totalStealOverheadNs() const
+{
+    double total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.stealOverheadNs;
+    return total;
+}
+
 double
 RunStats::staticCacheHitRate() const
 {
@@ -184,6 +211,11 @@ RunStats::accumulate(const RunStats &other)
         dst.reroutedFetches += src.reroutedFetches;
         dst.reconstructedLists += src.reconstructedLists;
         dst.recoveryNs += src.recoveryNs;
+        dst.chunksStolen += src.chunksStolen;
+        dst.chunksDonated += src.chunksDonated;
+        dst.stealBytesIn += src.stealBytesIn;
+        dst.stealBytesOut += src.stealBytesOut;
+        dst.stealOverheadNs += src.stealOverheadNs;
         dst.staticCacheHits += src.staticCacheHits;
         dst.staticCacheMisses += src.staticCacheMisses;
         dst.staticCacheInsertions += src.staticCacheInsertions;
@@ -258,6 +290,13 @@ RunStats::toJson(bool include_host) const
        << ", \"rerouted\": " << faults_rerouted
        << ", \"reconstructed\": " << faults_reconstructed
        << ", \"recovery_ns\": " << totalRecoveryNs() << "},\n";
+    std::uint64_t chunks_donated = 0;
+    for (const NodeStats &node : nodes)
+        chunks_donated += node.chunksDonated;
+    os << "  \"steals\": {\"stolen\": " << totalChunksStolen()
+       << ", \"donated\": " << chunks_donated
+       << ", \"bytes\": " << totalStealBytes()
+       << ", \"overhead_ns\": " << totalStealOverheadNs() << "},\n";
     if (include_host && hostThreads > 0) {
         os << "  \"host\": {\"threads\": " << hostThreads
            << ", \"wall_ns\": " << hostWallNs;
@@ -297,7 +336,12 @@ RunStats::toJson(bool include_host) const
            << ", \"chunks_replayed\": " << n.chunksReplayed
            << ", \"rerouted\": " << n.reroutedFetches
            << ", \"reconstructed\": " << n.reconstructedLists
-           << ", \"recovery_ns\": " << n.recoveryNs;
+           << ", \"recovery_ns\": " << n.recoveryNs
+           << ", \"chunks_stolen\": " << n.chunksStolen
+           << ", \"chunks_donated\": " << n.chunksDonated
+           << ", \"steal_bytes_in\": " << n.stealBytesIn
+           << ", \"steal_bytes_out\": " << n.stealBytesOut
+           << ", \"steal_overhead_ns\": " << n.stealOverheadNs;
         if (include_host) {
             os << ", \"kernel_calls\": [";
             for (std::size_t k = 0; k < n.kernelCalls.size(); ++k)
@@ -334,6 +378,12 @@ RunStats::summary() const
     if (hits + misses > 0)
         os << "static cache hit rate "
            << formatPercent(staticCacheHitRate()) << "\n";
+    if (totalChunksStolen() > 0)
+        os << "steals " << formatCount(totalChunksStolen())
+           << " chunks, " << formatBytes(totalStealBytes())
+           << " moved, overhead "
+           << formatTime(static_cast<std::uint64_t>(
+                totalStealOverheadNs())) << "\n";
     return os.str();
 }
 

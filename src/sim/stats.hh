@@ -69,6 +69,21 @@ struct NodeStats
     double recoveryNs = 0;              ///< modeled recovery overhead
     /// @}
 
+    /** @name Work stealing (DESIGN.md §11)
+     *
+     * stealOverheadNs is an attribution overlay like recoveryNs: the
+     * modeled handshake and column-transfer time a steal cost this
+     * unit.  It is already folded into the scheduler/comm categories
+     * above, so it never contributes to totalNs() again.
+     */
+    /// @{
+    std::uint64_t chunksStolen = 0;  ///< peer chunks executed here
+    std::uint64_t chunksDonated = 0; ///< chunks handed to an idle peer
+    std::uint64_t stealBytesIn = 0;  ///< embedding-column bytes received
+    std::uint64_t stealBytesOut = 0; ///< embedding-column bytes shipped
+    double stealOverheadNs = 0;      ///< modeled steal overhead
+    /// @}
+
     /** @name Work counters */
     /// @{
     std::uint64_t embeddingsCreated = 0;
@@ -149,6 +164,9 @@ struct RunStats
     std::uint64_t totalFaultsRecovered() const;
     std::uint64_t totalChunksReplayed() const;
     double totalRecoveryNs() const;
+    std::uint64_t totalChunksStolen() const;
+    std::uint64_t totalStealBytes() const;
+    double totalStealOverheadNs() const;
 
     /** Static-cache hit rate over all nodes (0 when unused). */
     double staticCacheHitRate() const;

@@ -39,6 +39,10 @@ phaseEventName(PhaseEvent event)
         return "recovered";
       case PhaseEvent::ChunkReplayed:
         return "chunk_replayed";
+      case PhaseEvent::StealIssued:
+        return "steal_issued";
+      case PhaseEvent::StealCompleted:
+        return "steal_completed";
     }
     KHUZDUL_PANIC("unreachable phase event");
 }

@@ -42,9 +42,11 @@ enum class PhaseEvent : std::uint8_t
     FetchRetry,          ///< failed batch re-attempted after backoff
     FetchRecovered,      ///< batch eventually served after >=1 fault
     ChunkReplayed,       ///< chunk re-enqueued after retry exhaustion
+    StealIssued,         ///< idle unit requested a peer's pending chunk
+    StealCompleted,      ///< stolen chunk's columns arrived at the thief
 };
 
-inline constexpr std::size_t kNumPhaseEvents = 13;
+inline constexpr std::size_t kNumPhaseEvents = 15;
 
 /** Stable lowercase name (used by the JSON sink and tests). */
 const char *phaseEventName(PhaseEvent event);
@@ -53,7 +55,11 @@ const char *phaseEventName(PhaseEvent event);
  *  bytes/lists for fetch batches, embedding counts for chunk and
  *  extend events, the vertex id for cache probes, and for
  *  KernelDispatch the total set-operation delta (value) over the
- *  chunk just closed, all kernel kinds combined (aux = 0).  The
+ *  chunk just closed, all kernel kinds combined (aux = 0).  Steal
+ *  events report from the thief's unit: StealIssued carries the
+ *  column bytes requested (value) and the victim unit (aux),
+ *  StealCompleted the stolen embedding count (value) and the victim
+ *  unit (aux).  The
  *  total is kernel-mode- and host-invariant — the sequence of set
  *  operations never depends on which kernel ran them — so trace
  *  tallies stay bit-identical across --kernel modes and SIMD-on/off

@@ -361,6 +361,76 @@ TEST(Cli, HelpDocumentsFaultGrammar)
     EXPECT_NE(out.find("--fault-retries"), std::string::npos);
 }
 
+TEST(Cli, HelpDocumentsKernelFaultAndStealFlagsEverywhere)
+{
+    // PRs 5-7 grew the engine flags; every counting subcommand's
+    // help must document them, not just `count`.
+    for (const std::string topic :
+         {"help count", "help motifs", "help fsm"}) {
+        const auto [code, out] = runCli(topic);
+        EXPECT_EQ(code, 0) << topic;
+        EXPECT_NE(out.find("--kernel"), std::string::npos) << topic;
+        EXPECT_NE(out.find("--fault"), std::string::npos) << topic;
+        EXPECT_NE(out.find("--threads"), std::string::npos) << topic;
+        EXPECT_NE(out.find("--steal"), std::string::npos) << topic;
+        EXPECT_NE(out.find("--steal-threshold"), std::string::npos)
+            << topic;
+    }
+}
+
+TEST(Cli, StealFlagKeepsCountsAndReportsStealsBlock)
+{
+    // --steal on must leave the count untouched, and the stats dump
+    // must carry the steals block (present even when nothing was
+    // stolen, so consumers can rely on the key).
+    const std::string path = testing::TempDir() + "/cli_steal.json";
+    const std::string base =
+        "count --graph rmat:800:4000:0.5:9 --pattern clique4 "
+        "--nodes 4 ";
+    const auto off = runCli(base + "--steal off");
+    ASSERT_EQ(off.first, 0);
+    const auto [code, out] =
+        runCli(base + "--steal on --stats-json " + path);
+    EXPECT_EQ(code, 0);
+    // First line carries the count; stealing moves modeled time,
+    // never work.
+    EXPECT_EQ(out.substr(0, out.find('\n')),
+              off.second.substr(0, off.second.find('\n')));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string json = content.str();
+    EXPECT_NE(json.find("\"steals\": {\"stolen\": "),
+              std::string::npos);
+    EXPECT_NE(json.find("\"chunks_stolen\": "), std::string::npos);
+    std::remove(path.c_str());
+
+    // Garbage values are rejected with the flag named.
+    const auto bad = runCli(base + "--steal banana");
+    EXPECT_EQ(bad.first, 1);
+    EXPECT_NE(bad.second.find("--steal"), std::string::npos);
+}
+
+TEST(Cli, StolenStatsAreThreadCountInvariant)
+{
+    const std::string base =
+        "count --graph er:500:2000:3 --pattern triangle --nodes 4 "
+        "--steal on --fault 'degrade:3-*:factor=5:from=0' ";
+    const auto modeled = [](const std::string &out) {
+        const auto pos = out.find("host wall time");
+        EXPECT_NE(pos, std::string::npos);
+        return out.substr(0, pos);
+    };
+    const auto reference = runCli(base + "--threads 1");
+    ASSERT_EQ(reference.first, 0);
+    for (const std::string flag : {"--threads 2", "--threads 8"}) {
+        const auto [code, out] = runCli(base + flag);
+        EXPECT_EQ(code, 0) << flag;
+        EXPECT_EQ(modeled(out), modeled(reference.second)) << flag;
+    }
+}
+
 TEST(Cli, BadInputsReportErrors)
 {
     EXPECT_EQ(runCli("count --graph /nonexistent.el "

@@ -323,6 +323,29 @@ TEST(LintFaultState, OtherModeledFilesAreOutOfScope)
               0);
 }
 
+TEST(LintFaultState, StealZoneIsFenced)
+{
+    // core/steal/ plans migrations from merged modeled ledgers; a
+    // host-time read there would make stolen schedules depend on
+    // the machine the simulation ran on.
+    const std::string code = "Timer t;\n"
+                             "double ns = t.elapsedNs();\n"
+                             "stats.hostWallNs += ns;\n";
+    EXPECT_EQ(liveCount(run("src/core/steal/steal.cc", code),
+                        "fault-modeled-state"),
+              3);
+    EXPECT_EQ(liveCount(run("src/core/steal/steal.hh", code),
+                        "fault-modeled-state"),
+              3);
+    // The thread-primitive fence applies automatically: core/steal/
+    // is a modeled zone and not part of the parallel runtime.
+    EXPECT_EQ(liveCount(run("src/core/steal/steal.cc",
+                            "std::mutex m;\n"
+                            "std::atomic<int> n{0};\n"),
+                        "thread-primitive"),
+              2);
+}
+
 TEST(LintFaultState, ModeledClockIdentifiersDoNotMatch)
 {
     const auto r = run("src/sim/faults.cc",

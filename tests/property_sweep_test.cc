@@ -462,6 +462,109 @@ INSTANTIATE_TEST_SUITE_P(
         testing::Values(1u, 2u, 4u, 8u)));
 
 /**
+ * Steal pass x fault plans x host threads (DESIGN.md §11): with the
+ * deterministic post-barrier steal pass enabled, counts must still
+ * equal the fault-free oracle AND the steal-off run of the same
+ * plan, and every modeled artifact — the full host-free stats dump
+ * (including the steals block), the per-link fabric ledger (steal
+ * commits record transfers), the ordered StealIssued/StealCompleted
+ * trace tallies — must be bit-identical at every host thread count.
+ * The planner reads only merged modeled state, so the stolen
+ * schedule is as reproducible as the unstolen one.
+ */
+using StealAxis = std::tuple<const char *, unsigned>;
+
+class StealSweep : public testing::TestWithParam<StealAxis>
+{
+};
+
+TEST_P(StealSweep, StolenRunsKeepCountsAndThreadInvariance)
+{
+    const auto [spec, threads] = GetParam();
+    const Graph &g = sweepGraph();
+    core::EngineConfig config;
+    config.cluster = sim::ClusterConfig::paperDefault(4);
+    config.chunkBytes = 4 << 10;
+    config.cacheDegreeThreshold = 8;
+    config.stealEnabled = true;
+    // The sweep graph is ~1000x smaller than the bench stand-ins, so
+    // the default 100us backlog threshold would gate every donation;
+    // drop it to the scale of this graph's chunk ledgers.
+    config.stealBacklogThresholdNs = 2.0e3;
+    if (*spec)
+        config.faults.add(spec);
+
+    core::EngineConfig reference_config = config;
+    reference_config.hostThreads = 1;
+    config.hostThreads = threads;
+
+    core::EngineConfig off_config = reference_config;
+    off_config.stealEnabled = false;
+
+    core::Engine reference(g, reference_config);
+    core::Engine engine(g, config);
+    core::Engine no_steal(g, off_config);
+    for (const Pattern &p :
+         {Pattern::triangle(), Pattern::clique(4),
+          Pattern::cycleOf(4), Pattern::diamond()}) {
+        const auto plan = compileAutomine(p, {});
+        // Stealing moves modeled time, never work: counts equal the
+        // fault-free oracle and the steal-off run exactly.
+        ASSERT_EQ(reference.run(plan), oracle(p)) << p.toString();
+        EXPECT_EQ(engine.run(plan), oracle(p)) << p.toString();
+        EXPECT_EQ(no_steal.run(plan), oracle(p)) << p.toString();
+    }
+
+    // Same plan, different thread count: bit-identical modeled dump
+    // (including the steals block), ledger and trace tallies.
+    EXPECT_EQ(engine.stats().toJson(false),
+              reference.stats().toJson(false));
+    const NodeId nodes = config.cluster.numNodes;
+    for (NodeId src = 0; src < nodes; ++src)
+        for (NodeId dst = 0; dst < nodes; ++dst) {
+            EXPECT_EQ(engine.fabric().linkBytes(src, dst),
+                      reference.fabric().linkBytes(src, dst))
+                << src << "<-" << dst;
+            EXPECT_EQ(engine.fabric().linkMessages(src, dst),
+                      reference.fabric().linkMessages(src, dst))
+                << src << "<-" << dst;
+        }
+    for (std::size_t e = 0; e < sim::kNumPhaseEvents; ++e) {
+        const auto event = static_cast<sim::PhaseEvent>(e);
+        EXPECT_EQ(engine.traceCounts().count(event),
+                  reference.traceCounts().count(event))
+            << sim::phaseEventName(event);
+        EXPECT_EQ(engine.traceCounts().valueSum(event),
+                  reference.traceCounts().valueSum(event))
+            << sim::phaseEventName(event);
+    }
+
+    // Issued/completed pair up, and the stats block agrees with the
+    // trace stream.
+    EXPECT_EQ(reference.traceCounts().count(
+                  sim::PhaseEvent::StealIssued),
+              reference.traceCounts().count(
+                  sim::PhaseEvent::StealCompleted));
+    EXPECT_EQ(reference.stats().totalChunksStolen(),
+              reference.traceCounts().count(
+                  sim::PhaseEvent::StealIssued));
+
+    // Non-vacuous under the degraded plan: the straggling node's
+    // tail chunks actually migrate.
+    if (std::string(spec).rfind("degrade", 0) == 0) {
+        EXPECT_GT(reference.stats().totalChunksStolen(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlansAndThreads, StealSweep,
+    testing::Combine(
+        testing::Values("",
+                        "degrade:3-*:factor=5:from=0",
+                        "drop:*-*:msg=1:count=4"),
+        testing::Values(1u, 2u, 4u, 8u)));
+
+/**
  * Service-level determinism (DESIGN.md §10): every query's modeled
  * results through the QueryService — count, stats.toJson(false),
  * phase-event tallies — are bit-identical to a solo engine run of

@@ -234,10 +234,15 @@ TEST(RunStats, ToJsonCarriesTotalsAndNodes)
                         "\"simd_gallop\": 2}"),
               std::string::npos);
     EXPECT_NE(json.find("\"nodes\": ["), std::string::npos);
-    // One object per node, plus the root, kernel_calls and faults
-    // objects.
-    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 5);
-    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 5);
+    // One object per node, plus the root, kernel_calls, faults and
+    // steals objects.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 6);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 6);
+    // The steals block is always present, even all-zero, so JSON
+    // consumers can rely on the key.
+    EXPECT_NE(json.find("\"steals\": {\"stolen\": 0, \"donated\": 0, "
+                        "\"bytes\": 0, \"overhead_ns\": 0}"),
+              std::string::npos);
 
     // The kernel split is a host-side fact (it depends on CPU
     // features), so the modeled dump omits it entirely — top-level

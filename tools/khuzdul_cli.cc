@@ -256,6 +256,14 @@ engineConfigFromArgs(const Args &args)
         config.faults.add(spec);
     config.faults.maxRetries =
         static_cast<unsigned>(args.getU64("fault-retries", 3));
+    // Deterministic post-barrier work stealing (DESIGN.md §11).
+    const std::string steal = args.get("steal", "off");
+    KHUZDUL_REQUIRE(steal == "on" || steal == "off",
+                    "--steal must be 'on' or 'off', got '"
+                        << steal << "'");
+    config.stealEnabled = steal == "on";
+    config.stealBacklogThresholdNs =
+        args.getDouble("steal-threshold", 1.0e5);
     return config;
 }
 
@@ -568,7 +576,53 @@ cmdHelp(const std::string &topic)
                   "under any plan)\n"
                   "  [--fault-retries N]  per-batch retry budget "
                   "(default 3)\n"
+                  "  [--steal on|off]  deterministic inter-unit work "
+                  "stealing\n"
+                  "      (default off): idle units take backlogged "
+                  "peers' chunks,\n"
+                  "      paying the column transfer + handshake; "
+                  "counts and modeled\n"
+                  "      results stay bit-identical at every "
+                  "--threads value\n"
+                  "  [--steal-threshold NS]  min modeled backlog "
+                  "before a unit\n"
+                  "      donates (default 100000)\n"
                   "  [--stats-json FILE] [--trace FILE]");
+    } else if (topic == "motifs") {
+        std::puts("khuzdul motifs --graph <graph-spec> [--size K]\n"
+                  "  [--system automine|graphpi]\n"
+                  "  [--nodes N] [--sockets S] [--chunk-bytes B]\n"
+                  "  [--cache-fraction F] [--no-cache] [--no-hds] "
+                  "[--no-numa]\n"
+                  "  [--kernel auto|merge|gallop|bitmap|simd]\n"
+                  "  [--threads N]  host threads (modeled results "
+                  "identical for every N)\n"
+                  "  [--fault SPEC]...  deterministic fabric faults "
+                  "(grammar: help count)\n"
+                  "  [--fault-retries N] [--steal on|off] "
+                  "[--steal-threshold NS]\n"
+                  "  [--stats-json FILE] [--trace FILE]\n"
+                  "Counts every induced K-vertex motif (default "
+                  "K = 3).");
+    } else if (topic == "fsm") {
+        std::puts("khuzdul fsm --graph <graph-spec> [--support N] "
+                  "[--max-edges K]\n"
+                  "  [--labels L] [--label-seed S]  label an "
+                  "unlabeled input graph\n"
+                  "  [--system automine|graphpi]\n"
+                  "  [--nodes N] [--sockets S] [--chunk-bytes B]\n"
+                  "  [--cache-fraction F] [--no-cache] [--no-hds] "
+                  "[--no-numa]\n"
+                  "  [--kernel auto|merge|gallop|bitmap|simd]\n"
+                  "  [--threads N]  host threads (modeled results "
+                  "identical for every N)\n"
+                  "  [--fault SPEC]...  deterministic fabric faults "
+                  "(grammar: help count)\n"
+                  "  [--fault-retries N] [--steal on|off] "
+                  "[--steal-threshold NS]\n"
+                  "  [--stats-json FILE] [--trace FILE]\n"
+                  "Mines frequent subgraphs up to K edges under MNI "
+                  "support.");
     } else if (topic == "serve") {
         std::puts("khuzdul serve --graph <graph-spec> "
                   "--query SPEC [--query SPEC]...\n"

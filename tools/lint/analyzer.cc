@@ -46,10 +46,10 @@ ruleTable()
          "CirculantScheduler::issue outside sim/fabric.cc — no raw "
          "recordTransfer/setByteCap/reset calls"},
         {"fault-modeled-state", RuleScope::RecoveryPaths,
-         "fault triggers and recovery decisions read only modeled "
-         "ledger state — no Timer/hostWallNs/elapsedNs or "
-         "support/timer.hh in sim/faults.* or the provider/circulant "
-         "recovery paths"},
+         "fault triggers, recovery decisions and steal planning read "
+         "only modeled ledger state — no Timer/hostWallNs/elapsedNs "
+         "or support/timer.hh in sim/faults.*, the provider/circulant "
+         "recovery paths, or core/steal/"},
         {"simd-intrinsics", RuleScope::AllSources,
          "x86 intrinsics (immintrin.h/_mm*/__m256/...) only in "
          "src/core/kernels/ — the SIMD tier is the one place where "
@@ -151,8 +151,9 @@ isFabricImpl(const std::string &path)
             || path == "fabric.cc" || path == "fabric.hh");
 }
 
-/** The TUs where fault triggers fire and recovery is priced; host
- *  time reaching any of them would break plan replayability. */
+/** The TUs where fault triggers fire, recovery is priced and steal
+ *  schedules are planned; host time reaching any of them would break
+ *  plan (and stolen-schedule) replayability. */
 bool
 isRecoveryPath(const std::string &path)
 {
@@ -163,7 +164,8 @@ isRecoveryPath(const std::string &path)
                 || endsWith(path, "/" + stem + ".hh"));
     };
     return isFile("src/sim", "faults") || isFile("src/core", "provider")
-        || isFile("src/core", "circulant");
+        || isFile("src/core", "circulant")
+        || pathHasDir(path, "src/core/steal");
 }
 
 // ---------------------------------------------------------------

@@ -38,8 +38,9 @@ enum class RuleScope
     AllSources,    ///< every scanned file
     HeadersOnly,   ///< every scanned .hh/.hpp/.h
     ModeledZones,  ///< src/core/, src/sim/, src/engines/
-    /** The fault-injection / recovery TUs: sim/faults.*,
-     *  core/provider.*, core/circulant.* (DESIGN.md §9). */
+    /** The fault-injection / recovery / steal-planning TUs:
+     *  sim/faults.*, core/provider.*, core/circulant.* and
+     *  core/steal/ (DESIGN.md §9, §11). */
     RecoveryPaths,
 };
 
