@@ -67,7 +67,10 @@ TEST(LintRules, TableListsEveryContractRule)
         "wall-clock",   "prng",         "unordered-iter",
         "thread-primitive", "fabric-mutation", "fault-modeled-state",
         "simd-intrinsics",
-        "header-guard", "using-namespace-header"};
+        "header-guard", "using-namespace-header",
+        "taint-wall-clock", "taint-prng", "taint-unordered-iter",
+        "taint-thread-primitive", "taint-fabric-mutation",
+        "taint-host-time", "layering"};
     EXPECT_EQ(ids, expected);
     for (const std::string &id : ids)
         EXPECT_TRUE(lint::isRuleId(id));
@@ -644,9 +647,16 @@ TEST(LintJson, ShapeAndEscaping)
     const std::string json = lint::toJson(report, true);
     EXPECT_NE(json.find("\"tool\": \"khuzdul_lint\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"strict\": true"), std::string::npos);
     EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+    // Cross-TU summary keys are always present (zero when the
+    // per-file seam is used), and every finding carries a chain
+    // array (empty for token findings).
+    EXPECT_NE(json.find("\"functions\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"call_edges\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"fact_seeds\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"chain\": []"), std::string::npos);
     EXPECT_NE(json.find("\"violations\": 1"), std::string::npos);
     EXPECT_NE(json.find("\"passed\": false"), std::string::npos);
     EXPECT_NE(json.find("\"rule\": \"unordered-iter\""),
@@ -674,4 +684,448 @@ TEST(LintJson, SuppressedFindingCarriesReasonAndKind)
     EXPECT_NE(json.find("\"reason\": \"host wall time\""),
               std::string::npos);
     EXPECT_NE(json.find("\"passed\": true"), std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// Cross-TU analysis: extraction, call graph, taint, layering.
+// ----------------------------------------------------------------
+
+namespace
+{
+
+lint::Analysis
+runProgram(const FixtureTree &tree, const lint::Options &options)
+{
+    return lint::analyzeProgram({tree.path()}, {}, "allow.txt",
+                                options);
+}
+
+int
+liveCount(const lint::Analysis &analysis, const std::string &rule)
+{
+    return liveCount(analysis.report, rule);
+}
+
+const lint::FunctionDef *
+findFunction(const lint::Program &program, const std::string &qualified)
+{
+    for (const lint::FunctionDef &fn : program.functions)
+        if (fn.qualified == qualified)
+            return &fn;
+    return nullptr;
+}
+
+} // namespace
+
+TEST(LintExtract, NestedNamespacesQualifyNames)
+{
+    FixtureTree tree;
+    tree.write("src/support/util.hh",
+               "#ifndef U_HH\n#define U_HH\n"
+               "namespace outer\n{\nnamespace inner\n{\n"
+               "inline int\nanswer()\n{\n    return 42;\n}\n"
+               "}\n}\n"
+               "namespace outer::compact\n{\n"
+               "struct Box\n{\n    int get() { return 1; }\n};\n"
+               "}\n"
+               "#endif\n");
+    const auto analysis = runProgram(tree, lint::Options{});
+    EXPECT_NE(findFunction(analysis.program, "outer::inner::answer"),
+              nullptr);
+    const lint::FunctionDef *method =
+        findFunction(analysis.program, "outer::compact::Box::get");
+    ASSERT_NE(method, nullptr);
+    EXPECT_TRUE(method->method);
+    EXPECT_EQ(analysis.report.functionsExtracted, 2u);
+}
+
+TEST(LintExtract, OverloadSetsLinkEveryCandidate)
+{
+    FixtureTree tree;
+    tree.write("src/support/over.hh",
+               "#ifndef O_HH\n#define O_HH\n#include <chrono>\n"
+               "namespace fx\n{\n"
+               "inline double scale(int v) { return v * 1.0; }\n"
+               "inline double scale(double v)\n{\n"
+               "    // khuzdul-lint: allow(wall-clock) host-only overload\n"
+               "    return v + std::chrono::steady_clock::now()"
+               ".time_since_epoch().count();\n"
+               "}\n}\n#endif\n");
+    tree.write("src/core/use.cc",
+               "#include \"support/over.hh\"\n"
+               "namespace fx\n{\n"
+               "double use() { return scale(3); }\n"
+               "}\n");
+    const auto analysis = runProgram(tree, lint::Options{});
+    int overloads = 0;
+    for (const lint::FunctionDef &fn : analysis.program.functions)
+        if (fn.qualified == "fx::scale")
+            ++overloads;
+    EXPECT_EQ(overloads, 2);
+    // Name resolution cannot pick an overload, so the call links to
+    // the whole set — and the tainted overload flags the caller.
+    EXPECT_EQ(liveCount(analysis, "taint-wall-clock"), 1);
+}
+
+TEST(LintExtract, SharedHeaderFlagsOnlyTheModeledIncluder)
+{
+    FixtureTree tree;
+    const std::string shared =
+        "#ifndef S_HH\n#define S_HH\n#include <chrono>\n"
+        "namespace fx\n{\n"
+        "inline long tick()\n{\n"
+        "    // khuzdul-lint: allow(wall-clock) host-only helper\n"
+        "    return std::chrono::steady_clock::now()"
+        ".time_since_epoch().count();\n"
+        "}\n}\n#endif\n";
+    tree.write("src/support/shared.hh", shared);
+    tree.write("src/apps/report.cc",
+               "#include \"support/shared.hh\"\n"
+               "namespace fx\n{\n"
+               "long hostReport() { return tick(); }\n"
+               "}\n");
+    tree.write("src/engines/run.cc",
+               "#include \"support/shared.hh\"\n"
+               "namespace fx\n{\n"
+               "long modeledRun() { return tick(); }\n"
+               "}\n");
+    const auto analysis = runProgram(tree, lint::Options{});
+    ASSERT_EQ(liveCount(analysis, "taint-wall-clock"), 1);
+    const lint::Finding *taint = nullptr;
+    for (const lint::Finding &f : analysis.report.findings)
+        if (f.rule == "taint-wall-clock")
+            taint = &f;
+    ASSERT_NE(taint, nullptr);
+    // Same helper, two includers: only the modeled zone is fenced.
+    EXPECT_NE(taint->file.find("src/engines/run.cc"),
+              std::string::npos);
+    EXPECT_NE(taint->message.find("fx::modeledRun"),
+              std::string::npos);
+}
+
+TEST(LintExtract, RecursiveCallCyclesTerminate)
+{
+    FixtureTree tree;
+    tree.write("src/support/recur.hh",
+               "#ifndef R_HH\n#define R_HH\n#include <cstdlib>\n"
+               "namespace fx\n{\n"
+               "inline int noise()\n{\n"
+               "    // khuzdul-lint: allow(prng) host-only jitter\n"
+               "    return std::rand();\n"
+               "}\n"
+               "int pong(int n);\n"
+               "inline int ping(int n) { return n <= 0 ? noise() : "
+               "pong(n - 1); }\n"
+               "inline int pong(int n) { return ping(n - 1); }\n"
+               "}\n#endif\n");
+    tree.write("src/core/drive.cc",
+               "#include \"support/recur.hh\"\n"
+               "namespace fx\n{\n"
+               "int drive() { return ping(8); }\n"
+               "}\n");
+    const auto analysis = runProgram(tree, lint::Options{});
+    // The ping <-> pong cycle must not loop the BFS or duplicate
+    // the frontier finding.
+    EXPECT_EQ(liveCount(analysis, "taint-prng"), 1);
+}
+
+TEST(LintTaint, TwoHopChainFlaggedAndHopRemovalUnflags)
+{
+    const std::string clockUtil =
+        "#ifndef C_HH\n#define C_HH\n#include <chrono>\n"
+        "namespace fx\n{\n"
+        "inline double nowSeconds()\n{\n"
+        "    // khuzdul-lint: allow(wall-clock) host-only helper\n"
+        "    return std::chrono::duration<double>(std::chrono::"
+        "steady_clock::now().time_since_epoch()).count();\n"
+        "}\n}\n#endif\n";
+    const std::string extender =
+        "#include \"support/format.hh\"\n"
+        "namespace fx\n{\n"
+        "double extendBudget() { return stampSeconds() * 2.0; }\n"
+        "}\n";
+
+    FixtureTree withHop;
+    withHop.write("src/support/clock_util.hh", clockUtil);
+    withHop.write("src/support/format.hh",
+                  "#ifndef F_HH\n#define F_HH\n"
+                  "#include \"support/clock_util.hh\"\n"
+                  "namespace fx\n{\n"
+                  "inline double stampSeconds() { return "
+                  "nowSeconds(); }\n"
+                  "}\n#endif\n");
+    withHop.write("src/core/extender.cc", extender);
+    const auto flagged = runProgram(withHop, lint::Options{});
+    ASSERT_EQ(liveCount(flagged, "taint-wall-clock"), 1);
+    const lint::Finding *taint = nullptr;
+    for (const lint::Finding &f : flagged.report.findings)
+        if (f.rule == "taint-wall-clock")
+            taint = &f;
+    ASSERT_NE(taint, nullptr);
+    // The full two-hop chain rides in the message and the finding.
+    ASSERT_EQ(taint->chain.size(), 3u);
+    EXPECT_NE(taint->chain[0].find("fx::extendBudget"),
+              std::string::npos);
+    EXPECT_NE(taint->chain[1].find("fx::stampSeconds"),
+              std::string::npos);
+    EXPECT_NE(taint->chain[2].find("fx::nowSeconds"),
+              std::string::npos);
+    EXPECT_NE(taint->message.find("fx::extendBudget"),
+              std::string::npos);
+    EXPECT_NE(taint->message.find("fx::stampSeconds"),
+              std::string::npos);
+    EXPECT_NE(taint->message.find("fx::nowSeconds"),
+              std::string::npos);
+    EXPECT_GT(flagged.report.callEdges, 0u);
+    EXPECT_GT(flagged.report.factSeeds, 0u);
+
+    // Cut the middle hop: same files, but the formatter no longer
+    // calls the clock helper — the chain breaks, the finding goes.
+    FixtureTree withoutHop;
+    withoutHop.write("src/support/clock_util.hh", clockUtil);
+    withoutHop.write("src/support/format.hh",
+                     "#ifndef F_HH\n#define F_HH\n"
+                     "#include \"support/clock_util.hh\"\n"
+                     "namespace fx\n{\n"
+                     "inline double stampSeconds() { return 0.0; }\n"
+                     "}\n#endif\n");
+    withoutHop.write("src/core/extender.cc", extender);
+    const auto clean = runProgram(withoutHop, lint::Options{});
+    EXPECT_EQ(liveCount(clean, "taint-wall-clock"), 0);
+}
+
+TEST(LintTaint, ModeledZoneAnnotationSanctionsItsSeed)
+{
+    // An annotated fact site *inside* the restricted zone is a
+    // reviewed carve-out: it does not seed, so callers stay clean.
+    FixtureTree tree;
+    tree.write("src/core/obs.hh",
+               "#ifndef OB_HH\n#define OB_HH\n#include <chrono>\n"
+               "namespace fx\n{\n"
+               "inline double hostNow()\n{\n"
+               "    // khuzdul-lint: allow(wall-clock) host "
+               "observability, excluded from modeled stats\n"
+               "    return std::chrono::duration<double>(std::chrono::"
+               "steady_clock::now().time_since_epoch()).count();\n"
+               "}\n}\n#endif\n");
+    tree.write("src/core/run.cc",
+               "#include \"core/obs.hh\"\n"
+               "namespace fx\n{\n"
+               "double run() { return hostNow(); }\n"
+               "}\n");
+    const auto analysis = runProgram(tree, lint::Options{});
+    EXPECT_EQ(liveCount(analysis, "taint-wall-clock"), 0);
+    EXPECT_EQ(analysis.report.factSeeds, 0u);
+    EXPECT_TRUE(analysis.report.passes(true));
+}
+
+TEST(LintTaint, FrontierReportsFirstRestrictedFunctionOnly)
+{
+    // support seed <- core helper <- core caller: the helper is the
+    // taint frontier; the caller above it is not re-flagged.
+    FixtureTree tree;
+    tree.write("src/support/seed.hh",
+               "#ifndef SD_HH\n#define SD_HH\n#include <cstdlib>\n"
+               "namespace fx\n{\n"
+               "inline int jitter()\n{\n"
+               "    // khuzdul-lint: allow(prng) host-only jitter\n"
+               "    return std::rand();\n"
+               "}\n}\n#endif\n");
+    tree.write("src/core/mid.hh",
+               "#ifndef MID_HH\n#define MID_HH\n"
+               "#include \"support/seed.hh\"\n"
+               "namespace fx\n{\n"
+               "inline int middle() { return jitter(); }\n"
+               "}\n#endif\n");
+    tree.write("src/core/top.cc",
+               "#include \"core/mid.hh\"\n"
+               "namespace fx\n{\n"
+               "int top() { return middle(); }\n"
+               "}\n");
+    const auto analysis = runProgram(tree, lint::Options{});
+    ASSERT_EQ(liveCount(analysis, "taint-prng"), 1);
+    const lint::Finding *taint = nullptr;
+    for (const lint::Finding &f : analysis.report.findings)
+        if (f.rule == "taint-prng")
+            taint = &f;
+    ASSERT_NE(taint, nullptr);
+    EXPECT_NE(taint->message.find("fx::middle"), std::string::npos);
+    EXPECT_EQ(taint->message.find("fx::top"), std::string::npos);
+}
+
+TEST(LintTaint, WhyTextExplainsChainsAndUnknownSymbols)
+{
+    FixtureTree tree;
+    tree.write("src/support/clock_util.hh",
+               "#ifndef C_HH\n#define C_HH\n#include <chrono>\n"
+               "namespace fx\n{\n"
+               "inline double nowSeconds()\n{\n"
+               "    // khuzdul-lint: allow(wall-clock) host-only\n"
+               "    return std::chrono::duration<double>(std::chrono::"
+               "steady_clock::now().time_since_epoch()).count();\n"
+               "}\n"
+               "inline double stamp() { return nowSeconds(); }\n"
+               "}\n#endif\n");
+    const auto analysis = runProgram(tree, lint::Options{});
+    bool found = false;
+    const std::string why = lint::whyText(
+        analysis.program, analysis.taint, "stamp", found);
+    EXPECT_TRUE(found);
+    EXPECT_NE(why.find("fx::stamp"), std::string::npos);
+    EXPECT_NE(why.find("wall-clock"), std::string::npos);
+    EXPECT_NE(why.find("fx::nowSeconds"), std::string::npos);
+
+    const std::string seed = [&] {
+        bool seedFound = false;
+        return lint::whyText(analysis.program, analysis.taint,
+                             "fx::nowSeconds", seedFound);
+    }();
+    EXPECT_NE(seed.find("direct seed"), std::string::npos);
+
+    bool missing = true;
+    lint::whyText(analysis.program, analysis.taint, "noSuchFn",
+                  missing);
+    EXPECT_FALSE(missing);
+}
+
+TEST(LintTaint, FactsJsonIsDeterministic)
+{
+    FixtureTree tree;
+    tree.write("src/support/a.hh",
+               "#ifndef A_HH\n#define A_HH\n#include <cstdlib>\n"
+               "namespace fx\n{\n"
+               "inline int a()\n{\n"
+               "    // khuzdul-lint: allow(prng) host-only\n"
+               "    return std::rand();\n"
+               "}\n}\n#endif\n");
+    tree.write("src/core/b.cc",
+               "#include \"support/a.hh\"\n"
+               "namespace fx\n{\n"
+               "int b() { return a(); }\n"
+               "}\n");
+    const auto first = runProgram(tree, lint::Options{});
+    const auto second = runProgram(tree, lint::Options{});
+    const std::string json1 = lint::factsJson(
+        first.program, first.graph, first.taint);
+    const std::string json2 = lint::factsJson(
+        second.program, second.graph, second.taint);
+    EXPECT_EQ(json1, json2);
+    EXPECT_NE(json1.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json1.find("\"fact\": \"prng\""), std::string::npos);
+    EXPECT_NE(json1.find("fx::a"), std::string::npos);
+}
+
+TEST(LintLayering, UpwardIncludeFlagsDownwardIsFine)
+{
+    lint::Options options;
+    options.taint = false;
+    options.layering = true;
+
+    FixtureTree tree;
+    tree.write("src/support/util.hh",
+               "#ifndef U_HH\n#define U_HH\n"
+               "#include \"core/engine.hh\"\n"
+               "#endif\n");
+    tree.write("src/core/engine.hh",
+               "#ifndef E_HH\n#define E_HH\n"
+               "#include \"support/other.hh\"\n"
+               "#include \"sim/fabric.hh\"\n"
+               "#endif\n");
+    tree.write("src/support/other.hh",
+               "#ifndef OT_HH\n#define OT_HH\n#endif\n");
+    tree.write("src/sim/fabric.hh",
+               "#ifndef FB_HH\n#define FB_HH\n"
+               "#include \"support/other.hh\"\n"
+               "#endif\n");
+    const auto analysis = runProgram(tree, options);
+    ASSERT_EQ(liveCount(analysis, "layering"), 1);
+    const lint::Finding &f = analysis.report.findings[0];
+    EXPECT_NE(f.file.find("src/support/util.hh"), std::string::npos);
+    EXPECT_EQ(f.line, 3);
+    EXPECT_NE(f.message.find("'support'"), std::string::npos);
+    EXPECT_NE(f.message.find("'core'"), std::string::npos);
+}
+
+TEST(LintLayering, IncludeCyclesAreFlagged)
+{
+    lint::Options options;
+    options.taint = false;
+    options.layering = true;
+
+    FixtureTree tree;
+    tree.write("src/core/a.hh",
+               "#ifndef A_HH\n#define A_HH\n"
+               "#include \"core/b.hh\"\n"
+               "#endif\n");
+    tree.write("src/core/b.hh",
+               "#ifndef B_HH\n#define B_HH\n"
+               "#include \"core/a.hh\"\n"
+               "#endif\n");
+    const auto analysis = runProgram(tree, options);
+    ASSERT_EQ(liveCount(analysis, "layering"), 1);
+    EXPECT_NE(analysis.report.findings[0].message.find(
+                  "include cycle"),
+              std::string::npos);
+}
+
+TEST(LintLayering, AnnotationSuppressesWithReason)
+{
+    lint::Options options;
+    options.taint = false;
+    options.layering = true;
+
+    FixtureTree tree;
+    tree.write("src/support/shim.hh",
+               "#ifndef SH_HH\n#define SH_HH\n"
+               "#include \"core/engine.hh\" // khuzdul-lint: "
+               "allow(layering) transitional shim, tracked in ROADMAP\n"
+               "#endif\n");
+    tree.write("src/core/engine.hh",
+               "#ifndef E_HH\n#define E_HH\n#endif\n");
+    const auto analysis = runProgram(tree, options);
+    EXPECT_EQ(liveCount(analysis, "layering"), 0);
+    EXPECT_EQ(suppressedCount(analysis.report, "layering"), 1);
+    EXPECT_TRUE(analysis.report.passes(true));
+}
+
+// ----------------------------------------------------------------
+// CLI surfaces: --rules snapshot, --help exit-code contract.
+// ----------------------------------------------------------------
+
+TEST(LintCli, RulesTextSnapshot)
+{
+    const std::string text = lint::rulesText();
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    // Header, one row per rule, a blank line, two grammar lines.
+    ASSERT_EQ(lines.size(), 2 + lint::rules().size() + 3);
+    EXPECT_EQ(lines[0],
+              "rule                     scope     contract");
+    EXPECT_EQ(lines[1],
+              "----                     -----     --------");
+    for (std::size_t i = 0; i < lint::rules().size(); ++i)
+        EXPECT_EQ(lines[2 + i].rfind(lint::rules()[i].id, 0), 0u)
+            << "row " << i << " must lead with the rule id";
+    EXPECT_NE(text.find("taint-wall-clock"), std::string::npos);
+    EXPECT_NE(text.find("layering"), std::string::npos);
+    EXPECT_NE(text.find("suppress one line:"), std::string::npos);
+    EXPECT_NE(text.find("suppress one file:"), std::string::npos);
+}
+
+TEST(LintCli, UsageDocumentsOptionsAndExitCodes)
+{
+    const std::string usage = lint::usageText();
+    EXPECT_EQ(usage.rfind("usage: khuzdul_lint", 0), 0u);
+    for (const char *flag :
+         {"--allowlist", "--strict", "--json", "--layering",
+          "--no-taint", "--facts", "--why", "--rules", "--help"})
+        EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+    // The exit-code contract is part of --help (ISSUE 9 satellite).
+    EXPECT_NE(usage.find("exit status:"), std::string::npos);
+    EXPECT_NE(usage.find("0  clean"), std::string::npos);
+    EXPECT_NE(usage.find("1  contract violations"), std::string::npos);
+    EXPECT_NE(usage.find("2  usage error"), std::string::npos);
 }

@@ -1,7 +1,6 @@
 #include "tools/lint/analyzer.hh"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -59,207 +58,41 @@ ruleTable()
          "every header opens with #pragma once or an #ifndef guard"},
         {"using-namespace-header", RuleScope::HeadersOnly,
          "no `using namespace` at header scope"},
+        {"taint-wall-clock", RuleScope::ModeledZones,
+         "no modeled-zone call chain may reach a wall-clock source "
+         "in any layer — reported with the full chain; see --why"},
+        {"taint-prng", RuleScope::ModeledZones,
+         "no modeled-zone call chain may reach a std PRNG source — "
+         "support helpers doing their own seeding taint every "
+         "modeled caller"},
+        {"taint-unordered-iter", RuleScope::ModeledZones,
+         "no modeled-zone call chain may reach unordered-container "
+         "code outside the zone's own annotated carve-outs"},
+        {"taint-thread-primitive", RuleScope::ModeledZones,
+         "no modeled-zone call chain (outside core/parallel/ and "
+         "core/service/) may reach std threading/atomics"},
+        {"taint-fabric-mutation", RuleScope::ModeledZones,
+         "no modeled-zone call chain may reach a raw fabric ledger "
+         "mutation outside sim/fabric.*"},
+        {"taint-host-time", RuleScope::RecoveryPaths,
+         "no fault/recovery/steal-planning call chain may reach "
+         "Timer/hostWallNs/elapsedNs host-timing state"},
+        {"layering", RuleScope::AllSources,
+         "includes must respect the layer order support -> graph/sim "
+         "-> core -> engines -> apps/tools and stay acyclic"},
     };
     return table;
 }
 
-// ---------------------------------------------------------------
-// Path classification.
-// ---------------------------------------------------------------
-
-std::string
-normalizePath(std::string path)
+/** The token pattern shared with the taint facts (symbols.hh). */
+const std::string &
+factPatternSource(const std::string &id)
 {
-    std::replace(path.begin(), path.end(), '\\', '/');
-    while (path.rfind("./", 0) == 0)
-        path.erase(0, 2);
-    return path;
-}
-
-/** Whether @p dir appears in @p path on component boundaries. */
-bool
-pathHasDir(const std::string &path, const std::string &dir)
-{
-    const std::string needle = dir + "/";
-    std::size_t pos = path.find(needle);
-    while (pos != std::string::npos) {
-        if (pos == 0 || path[pos - 1] == '/')
-            return true;
-        pos = path.find(needle, pos + 1);
-    }
-    return false;
-}
-
-bool
-endsWith(const std::string &s, const std::string &suffix)
-{
-    return s.size() >= suffix.size()
-        && s.compare(s.size() - suffix.size(), suffix.size(), suffix)
-        == 0;
-}
-
-bool
-isHeaderPath(const std::string &path)
-{
-    return endsWith(path, ".hh") || endsWith(path, ".hpp")
-        || endsWith(path, ".h");
-}
-
-bool
-isSourcePath(const std::string &path)
-{
-    return isHeaderPath(path) || endsWith(path, ".cc")
-        || endsWith(path, ".cpp") || endsWith(path, ".cxx");
-}
-
-/** The zones whose results feed modeled makespans and ledgers. */
-bool
-isModeledZone(const std::string &path)
-{
-    return pathHasDir(path, "src/core") || pathHasDir(path, "src/sim")
-        || pathHasDir(path, "src/engines");
-}
-
-/** core/parallel/ hosts the sanctioned threading primitives. */
-bool
-isParallelRuntime(const std::string &path)
-{
-    return pathHasDir(path, "src/core/parallel");
-}
-
-/**
- * core/service/ is the multi-query scheduling runtime: like
- * core/parallel/ it may own threads/mutexes/cvs (dispatchers,
- * admission queue), because it only decides *when* sessions run.
- * Every other rule — wall-clock, prng, unordered-iter,
- * fabric-mutation — still applies in full: the service must never
- * compute a modeled value, only move deterministic per-session
- * results around.
- */
-bool
-isServiceRuntime(const std::string &path)
-{
-    return pathHasDir(path, "src/core/service");
-}
-
-/** sim/fabric.* owns the ledger and may mutate it freely. */
-bool
-isFabricImpl(const std::string &path)
-{
-    return pathHasDir(path, "src/sim")
-        && (endsWith(path, "/fabric.cc") || endsWith(path, "/fabric.hh")
-            || path == "fabric.cc" || path == "fabric.hh");
-}
-
-/** The TUs where fault triggers fire, recovery is priced and steal
- *  schedules are planned; host time reaching any of them would break
- *  plan (and stolen-schedule) replayability. */
-bool
-isRecoveryPath(const std::string &path)
-{
-    const auto isFile = [&](const std::string &dir,
-                            const std::string &stem) {
-        return pathHasDir(path, dir)
-            && (endsWith(path, "/" + stem + ".cc")
-                || endsWith(path, "/" + stem + ".hh"));
-    };
-    return isFile("src/sim", "faults") || isFile("src/core", "provider")
-        || isFile("src/core", "circulant")
-        || pathHasDir(path, "src/core/steal");
-}
-
-// ---------------------------------------------------------------
-// Comment / literal stripping.
-// ---------------------------------------------------------------
-
-/**
- * Blank out comments and string/char literal contents of one line,
- * carrying block-comment state across lines.  Replaced bytes become
- * spaces so column numbers keep meaning.
- */
-std::string
-sanitizeLine(const std::string &raw, bool &in_block_comment)
-{
-    std::string out(raw.size(), ' ');
-    std::size_t i = 0;
-    while (i < raw.size()) {
-        if (in_block_comment) {
-            if (raw[i] == '*' && i + 1 < raw.size()
-                && raw[i + 1] == '/') {
-                in_block_comment = false;
-                i += 2;
-                continue;
-            }
-            ++i;
-            continue;
-        }
-        const char c = raw[i];
-        if (c == '/' && i + 1 < raw.size()) {
-            if (raw[i + 1] == '/')
-                break; // rest of line is a comment
-            if (raw[i + 1] == '*') {
-                in_block_comment = true;
-                i += 2;
-                continue;
-            }
-        }
-        if (c == '"' || c == '\'') {
-            // Raw strings: skip R"( ... )" without custom delimiters.
-            if (c == '"' && i > 0 && raw[i - 1] == 'R') {
-                const std::size_t close = raw.find(")\"", i + 1);
-                out[i] = '"';
-                if (close == std::string::npos) {
-                    i = raw.size();
-                } else {
-                    out[close + 1] = '"';
-                    i = close + 2;
-                }
-                continue;
-            }
-            const char quote = c;
-            out[i] = quote;
-            ++i;
-            while (i < raw.size()) {
-                if (raw[i] == '\\') {
-                    i += 2;
-                    continue;
-                }
-                if (raw[i] == quote) {
-                    out[i] = quote;
-                    ++i;
-                    break;
-                }
-                ++i;
-            }
-            continue;
-        }
-        out[i] = c;
-        ++i;
-    }
-    // Trim trailing spaces introduced by blanking.
-    while (!out.empty() && out.back() == ' ')
-        out.pop_back();
-    return out;
-}
-
-bool
-isBlank(const std::string &s)
-{
-    return std::all_of(s.begin(), s.end(), [](unsigned char c) {
-        return std::isspace(c) != 0;
-    });
-}
-
-std::string
-trimCopy(const std::string &s)
-{
-    std::size_t b = 0;
-    std::size_t e = s.size();
-    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
-        ++b;
-    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
-        --e;
-    return s.substr(b, e - b);
+    for (const auto &[fact, source] : factPatterns())
+        if (fact == id)
+            return source;
+    static const std::string empty;
+    return empty;
 }
 
 // ---------------------------------------------------------------
@@ -338,28 +171,31 @@ tokenRules()
 {
     static const std::vector<TokenRule> rules = [] {
         std::vector<TokenRule> r;
+        // The first six patterns are the taint facts: built from
+        // the same strings (symbols.hh factPatterns) so the two
+        // layers can never drift.
         r.push_back(
             {"wall-clock",
-             std::regex(R"(\b(steady_clock|system_clock|high_resolution_clock|clock_gettime|gettimeofday|timespec_get)\b)"),
+             std::regex(factPatternSource("wall-clock")),
              "wall-clock source — modeled results must not read host "
              "time; annotate genuine host-observability sites",
              false});
         r.push_back(
             {"prng",
-             std::regex(R"(\b(random_device|mt19937(_64)?|default_random_engine|minstd_rand0?|ranlux(24|48)(_base)?|knuth_b|srand|drand48|lrand48|mrand48)\b|\brand\s*\(|#\s*include\s*<random>)"),
+             std::regex(factPatternSource("prng")),
              "std PRNG source — derive all randomness from "
              "support/rng.hh so runs are bit-exact",
              false});
         r.push_back(
             {"unordered-iter",
-             std::regex(R"(\bunordered_(map|set|multimap|multiset)\b)"),
+             std::regex(factPatternSource("unordered-iter")),
              "unordered container in a modeled zone — iteration order "
              "is nondeterministic; use a sorted container or annotate "
              "the lookup-only use",
              true});
         r.push_back(
             {"thread-primitive",
-             std::regex(R"(\bstd\s*::\s*(thread|jthread|this_thread|atomic\w*|mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|condition_variable(_any)?|lock_guard|unique_lock|shared_lock|scoped_lock|future|shared_future|promise|async|counting_semaphore|binary_semaphore|barrier|latch|stop_token|call_once|once_flag)\b|\bthread\s*::\s*id\b|#\s*include\s*<(thread|atomic|mutex|shared_mutex|condition_variable|future|semaphore|barrier|latch|stop_token)>)"),
+             std::regex(factPatternSource("thread-primitive")),
              "threading primitive in a modeled zone — host "
              "parallelism lives in core/parallel/ and the query "
              "scheduler in core/service/; units exchange state only "
@@ -367,7 +203,7 @@ tokenRules()
              false});
         r.push_back(
             {"fabric-mutation",
-             std::regex(R"(\b(recordTransfer|setByteCap)\s*\(|\bfabric_?\s*(\.|->)\s*reset\s*\()"),
+             std::regex(factPatternSource("fabric-mutation")),
              "direct fabric ledger mutation — route transfers through "
              "Fabric::apply or CirculantScheduler::issue",
              false});
@@ -381,7 +217,7 @@ tokenRules()
              false});
         r.push_back(
             {"fault-modeled-state",
-             std::regex(R"(\b(hostWallNs|elapsedNs|elapsedSeconds|Timer)\b|\btimer\.hh\b)"),
+             std::regex(factPatternSource("fault-modeled-state")),
              "host-time symbol in a fault/recovery path — fault "
              "triggers and retry pricing must read only modeled "
              "ledger state (link ordinals, the modeled clock) so "
@@ -405,7 +241,7 @@ ruleAppliesTo(const std::string &rule, const std::string &path)
     if (rule == "fault-modeled-state")
         return isRecoveryPath(path);
     if (rule == "simd-intrinsics")
-        return !pathHasDir(path, "src/core/kernels");
+        return !isKernelTier(path);
     return true; // wall-clock, prng: every scanned file
 }
 
@@ -573,69 +409,80 @@ allowlistCovers(const AllowlistEntry &entry, const std::string &path)
     return endsWith(path, "/" + entry.path);
 }
 
-} // namespace
-
-void
-analyzeSource(const std::string &raw_path, const std::string &content,
-              std::vector<AllowlistEntry> *allowlist, Report &out)
+/** One file's scan state: sanitized lines, annotation shields and
+ *  the as-yet-unsuppressed token findings. */
+struct FileScan
 {
-    const std::string path = normalizePath(raw_path);
-    ++out.filesScanned;
+    std::string path;
+    std::vector<std::string> rawLines;
+    std::vector<std::string> codeLines;
+    /** shielded line → annotations targeting it */
+    std::map<int, std::vector<Annotation>> shields;
+    std::vector<Finding> findings;
+};
 
-    std::vector<std::string> lines;
+FileScan
+scanOne(const std::string &raw_path, const std::string &content,
+        std::vector<std::string> &errors)
+{
+    FileScan scan;
+    scan.path = normalizePath(raw_path);
+
     {
         std::istringstream in(content);
         std::string line;
         while (std::getline(in, line))
-            lines.push_back(line);
+            scan.rawLines.push_back(line);
     }
 
     // Pass 1: sanitize (comments/strings blanked) and collect
     // annotations keyed by the line they shield: their own line if
     // it carries code, otherwise the next line.
-    std::vector<std::string> code(lines.size());
-    std::map<int, std::vector<Annotation>> shields;
+    scan.codeLines.resize(scan.rawLines.size());
     bool in_block = false;
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-        code[i] = sanitizeLine(lines[i], in_block);
+    for (std::size_t i = 0; i < scan.rawLines.size(); ++i) {
+        scan.codeLines[i] = sanitizeLine(scan.rawLines[i], in_block);
         auto annotations = parseAnnotations(
-            path, static_cast<int>(i + 1), lines[i], out.errors);
+            scan.path, static_cast<int>(i + 1), scan.rawLines[i],
+            errors);
         if (annotations.empty())
             continue;
-        const int target = isBlank(code[i]) ? static_cast<int>(i + 2)
-                                            : static_cast<int>(i + 1);
-        auto &bucket = shields[target];
+        const int target = isBlank(scan.codeLines[i])
+            ? static_cast<int>(i + 2)
+            : static_cast<int>(i + 1);
+        auto &bucket = scan.shields[target];
         bucket.insert(bucket.end(), annotations.begin(),
                       annotations.end());
     }
 
-    std::vector<Finding> found;
     const auto emit = [&](int line_no, const std::string &rule,
                           const std::string &message) {
         Finding f;
-        f.file = path;
+        f.file = scan.path;
         f.line = line_no;
         f.rule = rule;
         f.message = message;
         f.snippet = line_no >= 1
-                && line_no <= static_cast<int>(lines.size())
-            ? trimCopy(lines[static_cast<std::size_t>(line_no - 1)])
+                && line_no <= static_cast<int>(scan.rawLines.size())
+            ? trimCopy(
+                  scan.rawLines[static_cast<std::size_t>(line_no - 1)])
             : std::string();
-        found.push_back(std::move(f));
+        scan.findings.push_back(std::move(f));
     };
 
     // Header hygiene.
-    if (isHeaderPath(path)) {
+    if (isHeaderPath(scan.path)) {
         int first_code = 0;
-        for (std::size_t i = 0; i < code.size(); ++i) {
-            if (!isBlank(code[i])) {
+        for (std::size_t i = 0; i < scan.codeLines.size(); ++i) {
+            if (!isBlank(scan.codeLines[i])) {
                 first_code = static_cast<int>(i + 1);
                 break;
             }
         }
         const std::string opening = first_code == 0
             ? std::string()
-            : trimCopy(code[static_cast<std::size_t>(first_code - 1)]);
+            : trimCopy(scan.codeLines[static_cast<std::size_t>(
+                  first_code - 1)]);
         const bool guarded = opening.rfind("#pragma once", 0) == 0
             || opening.rfind("#ifndef", 0) == 0;
         if (!guarded)
@@ -643,8 +490,8 @@ analyzeSource(const std::string &raw_path, const std::string &content,
                  "header must open with #pragma once or an #ifndef "
                  "include guard");
         static const std::regex using_ns(R"(\busing\s+namespace\b)");
-        for (std::size_t i = 0; i < code.size(); ++i)
-            if (std::regex_search(code[i], using_ns))
+        for (std::size_t i = 0; i < scan.codeLines.size(); ++i)
+            if (std::regex_search(scan.codeLines[i], using_ns))
                 emit(static_cast<int>(i + 1), "using-namespace-header",
                      "`using namespace` in a header leaks into every "
                      "includer");
@@ -652,55 +499,60 @@ analyzeSource(const std::string &raw_path, const std::string &content,
 
     // Token rules.
     for (const TokenRule &rule : tokenRules()) {
-        if (!ruleAppliesTo(rule.id, path))
+        if (!ruleAppliesTo(rule.id, scan.path))
             continue;
-        for (std::size_t i = 0; i < code.size(); ++i) {
-            if (code[i].empty())
+        for (std::size_t i = 0; i < scan.codeLines.size(); ++i) {
+            if (scan.codeLines[i].empty())
                 continue;
-            if (rule.skipIncludeLines && isIncludeLine(code[i]))
+            if (rule.skipIncludeLines && isIncludeLine(scan.codeLines[i]))
                 continue;
-            if (std::regex_search(code[i], rule.pattern))
+            if (std::regex_search(scan.codeLines[i], rule.pattern))
                 emit(static_cast<int>(i + 1), rule.id, rule.message);
         }
     }
 
-    // Suppression: per-line annotation first, then the allowlist.
-    for (Finding &f : found) {
-        bool done = false;
-        const auto it = shields.find(f.line);
-        if (it != shields.end()) {
-            for (Annotation &a : it->second) {
-                if (a.rule == f.rule) {
-                    f.suppression = SuppressionKind::Annotation;
-                    f.reason = a.reason;
-                    a.used = true;
-                    done = true;
-                    break;
-                }
-            }
-        }
-        if (!done && allowlist != nullptr) {
-            for (AllowlistEntry &e : *allowlist) {
-                if (e.rule == f.rule && allowlistCovers(e, f.file)) {
-                    f.suppression = SuppressionKind::Allowlist;
-                    f.reason = e.reason;
-                    e.used = true;
-                    break;
-                }
-            }
-        }
-        out.findings.push_back(std::move(f));
-    }
+    return scan;
+}
 
-    // Annotations that shielded nothing are stale (they either
-    // outlived their finding or target the wrong line).
-    for (const auto &[target, bucket] : shields) {
+/** Per-line annotation first, then the allowlist. */
+void
+applySuppression(Finding &f,
+                 std::map<int, std::vector<Annotation>> &shields,
+                 std::vector<AllowlistEntry> *allowlist)
+{
+    const auto it = shields.find(f.line);
+    if (it != shields.end()) {
+        for (Annotation &a : it->second) {
+            if (a.rule == f.rule) {
+                f.suppression = SuppressionKind::Annotation;
+                f.reason = a.reason;
+                a.used = true;
+                return;
+            }
+        }
+    }
+    if (allowlist != nullptr) {
+        for (AllowlistEntry &e : *allowlist) {
+            if (e.rule == f.rule && allowlistCovers(e, f.file)) {
+                f.suppression = SuppressionKind::Allowlist;
+                f.reason = e.reason;
+                e.used = true;
+                return;
+            }
+        }
+    }
+}
+
+void
+emitStaleAnnotations(const FileScan &scan, Report &out)
+{
+    for (const auto &[target, bucket] : scan.shields) {
         (void)target;
         for (const Annotation &a : bucket) {
             if (a.used)
                 continue;
             StaleSuppression s;
-            s.file = path;
+            s.file = scan.path;
             s.line = a.sourceLine;
             s.rule = a.rule;
             s.detail = "allow(" + a.rule
@@ -710,13 +562,43 @@ analyzeSource(const std::string &raw_path, const std::string &content,
     }
 }
 
-Report
-analyzePaths(const std::vector<std::string> &paths,
-             std::vector<AllowlistEntry> allowlist,
-             const std::string &allowlist_file)
+void
+sortFindings(std::vector<Finding> &findings)
+{
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+}
+
+} // namespace
+
+void
+analyzeSource(const std::string &raw_path, const std::string &content,
+              std::vector<AllowlistEntry> *allowlist, Report &out)
+{
+    ++out.filesScanned;
+    FileScan scan = scanOne(raw_path, content, out.errors);
+    for (Finding &f : scan.findings) {
+        applySuppression(f, scan.shields, allowlist);
+        out.findings.push_back(std::move(f));
+    }
+    emitStaleAnnotations(scan, out);
+}
+
+Analysis
+analyzeProgram(const std::vector<std::string> &paths,
+               std::vector<AllowlistEntry> allowlist,
+               const std::string &allowlist_file,
+               const Options &options)
 {
     namespace fs = std::filesystem;
-    Report report;
+    Analysis analysis;
+    Report &report = analysis.report;
 
     std::vector<std::string> files;
     for (const std::string &p : paths) {
@@ -742,6 +624,8 @@ analyzePaths(const std::vector<std::string> &paths,
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
+    std::vector<FileScan> scans;
+    scans.reserve(files.size());
     for (const std::string &file : files) {
         std::ifstream in(file, std::ios::binary);
         if (!in) {
@@ -750,8 +634,81 @@ analyzePaths(const std::vector<std::string> &paths,
         }
         std::ostringstream content;
         content << in.rdbuf();
-        analyzeSource(file, content.str(), &allowlist, report);
+        ++report.filesScanned;
+        FileScan scan = scanOne(file, content.str(), report.errors);
+
+        SourceFile source;
+        source.path = scan.path;
+        source.codeLines = scan.codeLines;
+        for (const auto &[target, bucket] : scan.shields)
+            for (const Annotation &a : bucket)
+                source.allowedRules[target][a.rule] = a.reason;
+        extractFile(analysis.program, std::move(source),
+                    scan.rawLines);
+        scans.push_back(std::move(scan));
     }
+    finalizeProgram(analysis.program);
+    analysis.graph = buildCallGraph(analysis.program);
+    report.functionsExtracted = analysis.program.functions.size();
+    report.callEdges = analysis.graph.edges.size();
+
+    std::map<std::string, std::size_t> scanIndex;
+    for (std::size_t i = 0; i < scans.size(); ++i)
+        scanIndex[scans[i].path] = i;
+
+    const auto attach = [&](Finding f) {
+        const auto it = scanIndex.find(f.file);
+        if (it == scanIndex.end()) {
+            report.findings.push_back(std::move(f));
+            return;
+        }
+        FileScan &scan = scans[it->second];
+        if (f.snippet.empty() && f.line >= 1
+            && f.line <= static_cast<int>(scan.rawLines.size()))
+            f.snippet = trimCopy(
+                scan.rawLines[static_cast<std::size_t>(f.line - 1)]);
+        scan.findings.push_back(std::move(f));
+    };
+
+    if (options.taint) {
+        analysis.taint
+            = propagateTaint(analysis.program, analysis.graph);
+        report.factSeeds
+            = static_cast<std::size_t>(analysis.taint.seedCount);
+        for (const TaintFinding &tf : analysis.taint.findings) {
+            Finding f;
+            f.file = tf.file;
+            f.line = tf.line;
+            f.rule = tf.rule;
+            f.message = tf.message;
+            f.chain = tf.chain;
+            attach(std::move(f));
+        }
+    }
+
+    if (options.layering) {
+        for (const LayerViolation &lv :
+             checkLayering(analysis.program)) {
+            Finding f;
+            f.file = lv.file;
+            f.line = lv.line;
+            f.rule = "layering";
+            f.message = lv.message;
+            attach(std::move(f));
+        }
+    }
+
+    // Suppression and stale resolution run only after every layer
+    // has produced its findings, so an annotation that shields a
+    // taint or layering finding is never misreported as stale.
+    for (FileScan &scan : scans) {
+        for (Finding &f : scan.findings) {
+            applySuppression(f, scan.shields, &allowlist);
+            report.findings.push_back(std::move(f));
+        }
+    }
+    for (const FileScan &scan : scans)
+        emitStaleAnnotations(scan, report);
 
     for (const AllowlistEntry &e : allowlist) {
         if (e.used)
@@ -765,15 +722,18 @@ analyzePaths(const std::vector<std::string> &paths,
         report.stale.push_back(std::move(s));
     }
 
-    std::sort(report.findings.begin(), report.findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  if (a.file != b.file)
-                      return a.file < b.file;
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  return a.rule < b.rule;
-              });
-    return report;
+    sortFindings(report.findings);
+    return analysis;
+}
+
+Report
+analyzePaths(const std::vector<std::string> &paths,
+             std::vector<AllowlistEntry> allowlist,
+             const std::string &allowlist_file, const Options &options)
+{
+    return analyzeProgram(paths, std::move(allowlist), allowlist_file,
+                          options)
+        .report;
 }
 
 std::string
@@ -782,9 +742,12 @@ toJson(const Report &report, bool strict)
     std::ostringstream out;
     out << "{\n";
     out << "  \"tool\": \"khuzdul_lint\",\n";
-    out << "  \"schema_version\": 1,\n";
+    out << "  \"schema_version\": 2,\n";
     out << "  \"strict\": " << (strict ? "true" : "false") << ",\n";
     out << "  \"files_scanned\": " << report.filesScanned << ",\n";
+    out << "  \"functions\": " << report.functionsExtracted << ",\n";
+    out << "  \"call_edges\": " << report.callEdges << ",\n";
+    out << "  \"fact_seeds\": " << report.factSeeds << ",\n";
     out << "  \"violations\": " << report.violations() << ",\n";
     out << "  \"suppressed\": " << report.suppressed() << ",\n";
     out << "  \"passed\": " << (report.passes(strict) ? "true" : "false")
@@ -797,7 +760,13 @@ toJson(const Report &report, bool strict)
             << "\", \"line\": " << f.line << ", \"rule\": \""
             << jsonEscape(f.rule) << "\", \"message\": \""
             << jsonEscape(f.message) << "\", \"snippet\": \""
-            << jsonEscape(f.snippet) << "\", \"suppression\": \""
+            << jsonEscape(f.snippet) << "\", \"chain\": [";
+        for (std::size_t h = 0; h < f.chain.size(); ++h) {
+            if (h != 0)
+                out << ", ";
+            out << "\"" << jsonEscape(f.chain[h]) << "\"";
+        }
+        out << "], \"suppression\": \""
             << suppressionName(f.suppression) << "\", \"reason\": \""
             << jsonEscape(f.reason) << "\"}";
     }
@@ -848,6 +817,61 @@ toText(const Report &report, bool strict)
         out << ", " << report.stale.size() << " stale suppression(s)";
     out << " — " << (report.passes(strict) ? "PASS" : "FAIL") << "\n";
     return out.str();
+}
+
+std::string
+rulesText()
+{
+    std::ostringstream out;
+    out << "rule                     scope     contract\n";
+    out << "----                     -----     --------\n";
+    for (const RuleInfo &r : rules()) {
+        const char *scope = "src";
+        if (r.scope == RuleScope::ModeledZones)
+            scope = "modeled";
+        else if (r.scope == RuleScope::HeadersOnly)
+            scope = "headers";
+        else if (r.scope == RuleScope::RecoveryPaths)
+            scope = "recovery";
+        char row[64];
+        std::snprintf(row, sizeof row, "%-24s %-9s ", r.id.c_str(),
+                      scope);
+        out << row << r.summary << "\n";
+    }
+    out << "\nsuppress one line:  // khuzdul-lint: allow(<rule>) "
+           "<reason>\n";
+    out << "suppress one file:  `<path> <rule> <reason>` in the "
+           "allowlist\n";
+    return out.str();
+}
+
+std::string
+usageText()
+{
+    return "usage: khuzdul_lint [options] <path>...\n"
+           "\n"
+           "Static determinism-contract analyzer for the khuzdul\n"
+           "modeled zones (DESIGN.md section 8): per-line token\n"
+           "rules plus cross-TU taint propagation and the\n"
+           "architecture-layering check.\n"
+           "\n"
+           "options:\n"
+           "  --allowlist <file>  load whole-file suppressions\n"
+           "  --strict            fail on stale suppressions too\n"
+           "  --json              machine-readable report (schema v2)\n"
+           "  --layering          enforce the include-layer order\n"
+           "  --no-taint          token rules only, no cross-TU pass\n"
+           "  --facts             dump symbol/fact tables as JSON, exit\n"
+           "  --why <symbol>      explain a symbol's taint chains, exit\n"
+           "  --rules             print the rules table and exit\n"
+           "  --help              this text\n"
+           "\n"
+           "exit status:\n"
+           "  0  clean (and, under --strict, no stale suppressions)\n"
+           "  1  contract violations, or stale suppressions under\n"
+           "     --strict\n"
+           "  2  usage error, unreadable input, or unknown --why\n"
+           "     symbol\n";
 }
 
 } // namespace lint

@@ -1,20 +1,24 @@
 /**
  * @file
- * khuzdul_lint — a token/line-level static analyzer that enforces
- * the determinism contract (DESIGN.md §8): modeled results are a
- * pure function of the config, never of wall-clock time, PRNG
- * state, hash-table iteration order, thread interleaving or ad-hoc
- * fabric ledger mutation.  The scanner is deliberately source-level
- * (no libclang): every rule is a token pattern plus a path scope,
- * so the tool builds everywhere the engine builds and runs in
- * milliseconds as an ordinary ctest.
+ * khuzdul_lint — the static analyzer that enforces the determinism
+ * contract (DESIGN.md §8): modeled results are a pure function of
+ * the config, never of wall-clock time, PRNG state, hash-table
+ * iteration order, thread interleaving or ad-hoc fabric ledger
+ * mutation.  Two layers of analysis share one rules table:
+ *
+ *   - per-line token rules — every rule is a token pattern plus a
+ *     path scope, so the tool builds everywhere the engine builds
+ *     (no libclang) and runs in milliseconds as an ordinary ctest;
+ *   - cross-TU passes (symbols.hh/callgraph.hh/taint.hh) — a
+ *     symbol-extraction pass feeds transitive taint propagation
+ *     ("taint-*" rules, reported with the full call chain) and the
+ *     architecture-layering check on the include DAG ("layering").
  *
  * Suppression has two layers, both requiring a written reason:
  *   - per-line annotations:  // khuzdul-lint: allow(<rule>) <reason>
  *     (on the flagged line, or alone on the line above it)
  *   - a checked-in allowlist file granting one (path, rule) pair
- *     per line for whole-file exemptions such as the host-only
- *     stopwatch in src/support/timer.hh.
+ *     per line for whole-file exemptions.
  * Strict mode additionally fails on *stale* suppressions — an
  * allowlist entry or annotation that no longer matches a finding —
  * so the exemption set can only shrink by itself, never rot.
@@ -26,6 +30,10 @@
 #include <cstddef>
 #include <string>
 #include <vector>
+
+#include "tools/lint/callgraph.hh"
+#include "tools/lint/symbols.hh"
+#include "tools/lint/taint.hh"
 
 namespace khuzdul
 {
@@ -74,6 +82,9 @@ struct Finding
     std::string rule;
     std::string message;
     std::string snippet; ///< trimmed source line
+    /** For taint-* findings: the call chain from the flagged
+     *  function down to the seed, "qual (file:line)" per hop. */
+    std::vector<std::string> chain;
     SuppressionKind suppression = SuppressionKind::None;
     std::string reason;  ///< the written justification, if suppressed
 
@@ -103,6 +114,13 @@ struct StaleSuppression
     std::string detail;
 };
 
+/** Which analysis layers run on top of the token rules. */
+struct Options
+{
+    bool taint = true;     ///< cross-TU taint propagation
+    bool layering = false; ///< include-DAG layer order + acyclicity
+};
+
 /** Aggregated result of one lint run. */
 struct Report
 {
@@ -110,6 +128,9 @@ struct Report
     std::vector<StaleSuppression> stale;    ///< unused suppressions
     std::vector<std::string> errors;        ///< grammar/IO/parse errors
     std::size_t filesScanned = 0;
+    std::size_t functionsExtracted = 0;     ///< cross-TU symbol table
+    std::size_t callEdges = 0;              ///< resolved call edges
+    std::size_t factSeeds = 0;              ///< unsanctioned taint seeds
 
     /** Findings not suppressed — always failures. */
     std::size_t violations() const;
@@ -119,6 +140,16 @@ struct Report
 
     /** Exit-status predicate: strict also fails on stale/errors. */
     bool passes(bool strict) const;
+};
+
+/** A full cross-TU run: the report plus the program/graph/taint
+ *  state behind it, kept for --facts and --why. */
+struct Analysis
+{
+    Report report;
+    Program program;
+    CallGraph graph;
+    TaintResult taint;
 };
 
 /**
@@ -132,28 +163,44 @@ std::vector<AllowlistEntry> parseAllowlist(const std::string &content,
 
 /**
  * Scan one in-memory source (the testing seam — fixtures feed
- * snippets through this without touching the filesystem).
- * @p path decides zone scoping and allowlist matching; findings,
- * stale annotations and grammar errors accumulate into @p out;
- * matching entries of @p allowlist get their used flag set.
+ * snippets through this without touching the filesystem).  Token
+ * rules only: cross-TU passes need the whole program, so they run
+ * in analyzeProgram.  @p path decides zone scoping and allowlist
+ * matching; findings, stale annotations and grammar errors
+ * accumulate into @p out; matching entries of @p allowlist get
+ * their used flag set.
  */
 void analyzeSource(const std::string &path, const std::string &content,
                    std::vector<AllowlistEntry> *allowlist, Report &out);
 
 /**
  * Scan files and directory trees (recursing into .cc/.hh sources
- * and friends), apply @p allowlist, and flag its unused entries as
- * stale.  Findings are sorted for deterministic output.
+ * and friends), run the token rules plus the cross-TU passes that
+ * @p options enables, apply @p allowlist, and flag its unused
+ * entries as stale.  Findings are sorted for deterministic output.
  */
+Analysis analyzeProgram(const std::vector<std::string> &paths,
+                        std::vector<AllowlistEntry> allowlist,
+                        const std::string &allowlist_file,
+                        const Options &options);
+
+/** analyzeProgram's report alone (the legacy entry point). */
 Report analyzePaths(const std::vector<std::string> &paths,
                     std::vector<AllowlistEntry> allowlist,
-                    const std::string &allowlist_file);
+                    const std::string &allowlist_file,
+                    const Options &options = Options{});
 
-/** Machine-readable report (the --json output, schema version 1). */
+/** Machine-readable report (the --json output, schema version 2). */
 std::string toJson(const Report &report, bool strict);
 
 /** Human-readable report lines (one per finding/stale/error). */
 std::string toText(const Report &report, bool strict);
+
+/** The --rules table as text (snapshot-tested). */
+std::string rulesText();
+
+/** The --help text, including the exit-code contract. */
+std::string usageText();
 
 } // namespace lint
 } // namespace khuzdul

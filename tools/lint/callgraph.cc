@@ -1,0 +1,396 @@
+#include "tools/lint/callgraph.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace khuzdul
+{
+namespace lint
+{
+
+namespace
+{
+
+std::vector<std::string>
+componentsOf(const std::string &qualified)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = qualified.find("::", start);
+        if (pos == std::string::npos) {
+            out.push_back(qualified.substr(start));
+            return out;
+        }
+        out.push_back(qualified.substr(start, pos - start));
+        start = pos + 2;
+    }
+}
+
+/** Whether @p token's components are a trailing run of
+ *  @p candidate's (qualified-suffix match). */
+bool
+suffixMatch(const std::vector<std::string> &candidate,
+            const std::vector<std::string> &token)
+{
+    if (token.size() > candidate.size())
+        return false;
+    return std::equal(token.rbegin(), token.rend(),
+                      candidate.rbegin());
+}
+
+/** Resolve an include target ("core/engine.hh") to a scanned file
+ *  index by /-anchored suffix match, or -1 when external. */
+int
+resolveInclude(const std::string &target,
+               const std::vector<SourceFile> &files)
+{
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const std::string &path = files[i].path;
+        if (path == target || endsWith(path, "/" + target))
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t pos = path.rfind('/');
+    return pos == std::string::npos ? std::string() :
+                                      path.substr(0, pos);
+}
+
+std::string
+stemOf(const std::string &path)
+{
+    const std::size_t slash = path.rfind('/');
+    const std::size_t base = slash == std::string::npos ? 0 :
+                                                          slash + 1;
+    const std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos || dot < base)
+        return path.substr(base);
+    return path.substr(base, dot - base);
+}
+
+struct IncludeEdges
+{
+    /** Per file: (target file index, include line). */
+    std::vector<std::vector<std::pair<int, int>>> adjacency;
+    /** Per file: reachable file indices, including itself. */
+    std::vector<std::vector<int>> closure;
+};
+
+IncludeEdges
+resolveIncludeGraph(const Program &program)
+{
+    const std::size_t n = program.files.size();
+    IncludeEdges out;
+    out.adjacency.resize(n);
+    out.closure.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (const IncludeSite &inc : program.files[i].includes) {
+            const int target
+                = resolveInclude(inc.target, program.files);
+            if (target >= 0)
+                out.adjacency[i].push_back({target, inc.line});
+        }
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<bool> seen(n, false);
+        std::vector<int> work = {static_cast<int>(i)};
+        seen[i] = true;
+        while (!work.empty()) {
+            const int at = work.back();
+            work.pop_back();
+            out.closure[i].push_back(at);
+            for (const auto &[next, line] :
+                 out.adjacency[static_cast<std::size_t>(at)]) {
+                (void)line;
+                if (!seen[static_cast<std::size_t>(next)]) {
+                    seen[static_cast<std::size_t>(next)] = true;
+                    work.push_back(next);
+                }
+            }
+        }
+        std::sort(out.closure[i].begin(), out.closure[i].end());
+    }
+    return out;
+}
+
+} // namespace
+
+CallGraph
+buildCallGraph(const Program &program)
+{
+    CallGraph graph;
+    const std::size_t nFiles = program.files.size();
+    const std::size_t nFns = program.functions.size();
+    IncludeEdges inc = resolveIncludeGraph(program);
+    graph.includeClosure = inc.closure;
+
+    // A .cc's definitions are reachable through the header that
+    // declares them: the sibling header with the same stem if
+    // scanned, otherwise any header in the same directory (e.g.
+    // core/kernels/merge.cc is declared by core/kernels/kernels.hh).
+    std::vector<std::vector<int>> proxies(nFiles);
+    for (std::size_t g = 0; g < nFiles; ++g) {
+        const std::string &path = program.files[g].path;
+        if (isHeaderPath(path))
+            continue;
+        const std::string dir = dirOf(path);
+        const std::string stem = stemOf(path);
+        std::vector<int> sameDir;
+        int sibling = -1;
+        for (std::size_t h = 0; h < nFiles; ++h) {
+            const std::string &other = program.files[h].path;
+            if (!isHeaderPath(other) || dirOf(other) != dir)
+                continue;
+            sameDir.push_back(static_cast<int>(h));
+            if (stemOf(other) == stem)
+                sibling = static_cast<int>(h);
+        }
+        proxies[g] = sibling >= 0 ? std::vector<int>{sibling} :
+                                    sameDir;
+    }
+
+    // Per caller file: which files' external-linkage definitions
+    // are visible (closure, plus sources proxied by a closed-over
+    // header).
+    std::vector<std::vector<bool>> visible(
+        nFiles, std::vector<bool>(nFiles, false));
+    for (std::size_t f = 0; f < nFiles; ++f) {
+        for (const int g : inc.closure[f])
+            visible[f][static_cast<std::size_t>(g)] = true;
+        for (std::size_t g = 0; g < nFiles; ++g) {
+            if (visible[f][g])
+                continue;
+            for (const int proxy : proxies[g])
+                if (visible[f][static_cast<std::size_t>(proxy)]) {
+                    visible[f][g] = true;
+                    break;
+                }
+        }
+    }
+
+    std::map<std::string, int> fileIndex;
+    for (std::size_t i = 0; i < nFiles; ++i)
+        fileIndex[program.files[i].path] = static_cast<int>(i);
+
+    // Candidate callees bucketed by the unqualified name.
+    std::map<std::string, std::vector<int>> byName;
+    std::vector<std::vector<std::string>> fnComponents(nFns);
+    for (std::size_t i = 0; i < nFns; ++i) {
+        fnComponents[i]
+            = componentsOf(program.functions[i].qualified);
+        byName[fnComponents[i].back()].push_back(
+            static_cast<int>(i));
+    }
+
+    std::set<std::pair<int, int>> seenEdge;
+    for (std::size_t caller = 0; caller < nFns; ++caller) {
+        const FunctionDef &fn = program.functions[caller];
+        const auto fileIt = fileIndex.find(fn.file);
+        if (fileIt == fileIndex.end())
+            continue;
+        const std::size_t callerFile
+            = static_cast<std::size_t>(fileIt->second);
+        for (const CallSite &call : fn.calls) {
+            const std::vector<std::string> tokenComps
+                = componentsOf(call.token);
+            const auto bucket = byName.find(tokenComps.back());
+            if (bucket == byName.end())
+                continue;
+            for (const int callee : bucket->second) {
+                if (callee == static_cast<int>(caller)
+                    && call.line == fn.line)
+                    continue; // the signature's own name token
+                const FunctionDef &target = program.functions
+                    [static_cast<std::size_t>(callee)];
+                if (call.member && !target.method)
+                    continue;
+                if (!suffixMatch(
+                        fnComponents[static_cast<std::size_t>(
+                            callee)],
+                        tokenComps))
+                    continue;
+                const auto targetIt = fileIndex.find(target.file);
+                if (targetIt == fileIndex.end())
+                    continue;
+                const std::size_t targetFile
+                    = static_cast<std::size_t>(targetIt->second);
+                if (target.anonNamespace) {
+                    if (targetFile != callerFile)
+                        continue;
+                } else if (!visible[callerFile][targetFile]) {
+                    continue;
+                }
+                if (seenEdge
+                        .insert({static_cast<int>(caller), callee})
+                        .second)
+                    graph.edges.push_back({static_cast<int>(caller),
+                                           callee, call.line});
+            }
+        }
+    }
+
+    std::sort(graph.edges.begin(), graph.edges.end(),
+              [](const CallEdge &a, const CallEdge &b) {
+                  if (a.caller != b.caller)
+                      return a.caller < b.caller;
+                  return a.callee < b.callee;
+              });
+    graph.outEdges.resize(nFns);
+    graph.inEdges.resize(nFns);
+    for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+        graph.outEdges[static_cast<std::size_t>(
+                           graph.edges[e].caller)]
+            .push_back(static_cast<int>(e));
+        graph.inEdges[static_cast<std::size_t>(
+                          graph.edges[e].callee)]
+            .push_back(static_cast<int>(e));
+    }
+    return graph;
+}
+
+namespace
+{
+
+/** The component that names a path's layer, or "" when unknown. */
+std::string
+layerComponent(const std::string &rawPath)
+{
+    const std::string path = normalizePath(rawPath);
+    std::vector<std::string> comps;
+    std::size_t start = 0;
+    while (start <= path.size()) {
+        const std::size_t pos = path.find('/', start);
+        if (pos == std::string::npos) {
+            comps.push_back(path.substr(start));
+            break;
+        }
+        comps.push_back(path.substr(start, pos - start));
+        start = pos + 1;
+    }
+    // Inside src/: the layer is the component after "src".
+    for (std::size_t i = 0; i + 1 < comps.size(); ++i)
+        if (comps[i] == "src")
+            return comps[i + 1];
+    static const std::set<std::string> known
+        = {"support", "graph",   "sim",   "pattern", "core",
+           "engines", "apps",    "tools", "bench",   "tests",
+           "examples"};
+    // Include targets are src-relative ("core/engine.hh"); repo
+    // paths outside src/ ("tools/lint/main.cc") lead with their
+    // layer.  Search leading components so absolute scan roots
+    // ("/root/repo/tools/...") still classify.
+    for (std::size_t i = 0; i + 1 < comps.size(); ++i)
+        if (known.count(comps[i]) != 0)
+            return comps[i];
+    return std::string();
+}
+
+int
+rankOfComponent(const std::string &comp)
+{
+    static const std::map<std::string, int> ranks = {
+        {"support", 0}, {"graph", 1},   {"sim", 1},  {"pattern", 1},
+        {"core", 2},    {"engines", 3}, {"apps", 4}, {"tools", 4},
+        {"bench", 5},   {"tests", 5},   {"examples", 5},
+    };
+    const auto it = ranks.find(comp);
+    return it == ranks.end() ? -1 : it->second;
+}
+
+} // namespace
+
+int
+layerRank(const std::string &path)
+{
+    return rankOfComponent(layerComponent(path));
+}
+
+std::string
+layerName(const std::string &path)
+{
+    return layerComponent(path);
+}
+
+std::vector<LayerViolation>
+checkLayering(const Program &program)
+{
+    std::vector<LayerViolation> out;
+    const IncludeEdges inc = resolveIncludeGraph(program);
+    const std::size_t n = program.files.size();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const SourceFile &file = program.files[i];
+        const int from = layerRank(file.path);
+        if (from < 0)
+            continue;
+        for (const IncludeSite &site : file.includes) {
+            const int to = layerRank(site.target);
+            if (to < 0 || from >= to)
+                continue;
+            out.push_back(
+                {file.path, site.line,
+                 "layer '" + layerName(file.path) + "' includes \""
+                     + site.target + "\" from higher layer '"
+                     + layerName(site.target)
+                     + "' (allowed order: support -> graph/sim -> "
+                       "core -> engines -> apps/tools)"});
+        }
+    }
+
+    // The include graph must be acyclic regardless of layers.
+    std::vector<int> color(n, 0); // 0 white, 1 gray, 2 black
+    std::vector<int> path;
+    std::set<std::vector<int>> reportedCycles;
+    const auto dfs = [&](auto &&self, const std::size_t at) -> void {
+        color[at] = 1;
+        path.push_back(static_cast<int>(at));
+        for (const auto &[next, line] : inc.adjacency[at]) {
+            const auto idx = static_cast<std::size_t>(next);
+            if (color[idx] == 0) {
+                self(self, idx);
+            } else if (color[idx] == 1) {
+                const auto begin = std::find(path.begin(),
+                                             path.end(), next);
+                std::vector<int> cycle(begin, path.end());
+                std::vector<int> key = cycle;
+                std::sort(key.begin(), key.end());
+                if (reportedCycles.insert(key).second) {
+                    std::string names;
+                    for (const int f : cycle) {
+                        names += program
+                                     .files[static_cast<std::size_t>(
+                                         f)]
+                                     .path;
+                        names += " -> ";
+                    }
+                    names += program.files[idx].path;
+                    out.push_back({program.files[at].path, line,
+                                   "include cycle: " + names});
+                }
+            }
+        }
+        path.pop_back();
+        color[at] = 2;
+    };
+    for (std::size_t i = 0; i < n; ++i)
+        if (color[i] == 0)
+            dfs(dfs, i);
+
+    std::sort(out.begin(), out.end(),
+              [](const LayerViolation &a, const LayerViolation &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.message < b.message;
+              });
+    return out;
+}
+
+} // namespace lint
+} // namespace khuzdul

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Call-edge resolution and architecture layering for khuzdul_lint
+ * (DESIGN.md §8.4/§8.5).  Consumes the Program built by the
+ * extraction pass (symbols.hh) and produces:
+ *
+ *  - the resolved project include graph and its transitive closure,
+ *  - call edges between extracted functions, resolved by
+ *    qualified-name suffix matching restricted to each caller's
+ *    include closure (with sibling-header proxies so a .cc's
+ *    definitions are reachable through the header that declares
+ *    them), and
+ *  - layering violations: the include DAG must respect
+ *    support -> graph/sim -> core -> engines -> apps/tools, and
+ *    must stay acyclic.
+ */
+
+#ifndef KHUZDUL_TOOLS_LINT_CALLGRAPH_HH
+#define KHUZDUL_TOOLS_LINT_CALLGRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/symbols.hh"
+
+namespace khuzdul
+{
+namespace lint
+{
+
+/** One resolved caller -> callee edge (first call site wins). */
+struct CallEdge
+{
+    int caller = -1; ///< index into Program::functions
+    int callee = -1;
+    int line = 0; ///< call-site line in the caller's file
+};
+
+/** The resolved call graph plus the include closure it used. */
+struct CallGraph
+{
+    std::vector<CallEdge> edges; ///< sorted by (caller, callee)
+    /** Per function: indices into edges where it is the caller. */
+    std::vector<std::vector<int>> outEdges;
+    /** Per function: indices into edges where it is the callee. */
+    std::vector<std::vector<int>> inEdges;
+    /** Per file: file indices visible through transitive includes
+     *  (always contains the file itself). */
+    std::vector<std::vector<int>> includeClosure;
+};
+
+/** Resolve call sites into edges.  Deterministic: candidates are
+ *  ranked by (file, line) and edges deduplicated per pair. */
+CallGraph buildCallGraph(const Program &program);
+
+/** One architecture-layering finding (rule id "layering"). */
+struct LayerViolation
+{
+    std::string file;
+    int line = 0;
+    std::string message;
+};
+
+/**
+ * Layer rank of a path or include target: support=0,
+ * graph/sim/pattern=1, core=2, engines=3, apps/tools=4,
+ * bench/tests/examples=5.  Returns -1 when the path belongs to no
+ * known layer (external or unanchored), which disables the check.
+ */
+int layerRank(const std::string &path);
+
+/** The layer component name used in messages ("core", ...). */
+std::string layerName(const std::string &path);
+
+/** Check every include edge against the layer order and the include
+ *  graph for cycles.  Sorted by (file, line). */
+std::vector<LayerViolation> checkLayering(const Program &program);
+
+} // namespace lint
+} // namespace khuzdul
+
+#endif // KHUZDUL_TOOLS_LINT_CALLGRAPH_HH

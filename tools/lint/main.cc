@@ -1,14 +1,15 @@
 /**
  * @file
- * khuzdul_lint CLI.  `khuzdul_lint --strict --allowlist
+ * khuzdul_lint CLI.  `khuzdul_lint --strict --layering --allowlist
  * tools/lint_allowlist.txt src` is the invocation ctest and CI run;
  * see DESIGN.md §8 for the contract the rules enforce.
  *
- * Exit status: 0 clean, 1 contract violations (or, under --strict,
- * stale suppressions), 2 usage or I/O error.
+ * Exit status (documented in --help, asserted in lint_test):
+ *   0  clean (and, under --strict, no stale suppressions)
+ *   1  contract violations, or stale suppressions under --strict
+ *   2  usage or I/O error, or an unknown --why symbol
  */
 
-#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -17,54 +18,14 @@
 
 #include "tools/lint/analyzer.hh"
 
-namespace
-{
-
-void
-printUsage(std::ostream &out)
-{
-    out << "usage: khuzdul_lint [options] <path>...\n"
-           "\n"
-           "Static determinism-contract analyzer for the khuzdul\n"
-           "modeled zones (DESIGN.md section 8).\n"
-           "\n"
-           "options:\n"
-           "  --allowlist <file>  load whole-file suppressions\n"
-           "  --strict            fail on stale suppressions too\n"
-           "  --json              machine-readable report on stdout\n"
-           "  --rules             print the rules table and exit\n"
-           "  --help              this text\n";
-}
-
-void
-printRules()
-{
-    std::cout << "rule                     scope     contract\n";
-    std::cout << "----                     -----     --------\n";
-    for (const khuzdul::lint::RuleInfo &r : khuzdul::lint::rules()) {
-        const char *scope = "src";
-        if (r.scope == khuzdul::lint::RuleScope::ModeledZones)
-            scope = "modeled";
-        else if (r.scope == khuzdul::lint::RuleScope::HeadersOnly)
-            scope = "headers";
-        else if (r.scope == khuzdul::lint::RuleScope::RecoveryPaths)
-            scope = "recovery";
-        std::printf("%-24s %-9s %s\n", r.id.c_str(), scope,
-                    r.summary.c_str());
-    }
-    std::cout << "\nsuppress one line:  // khuzdul-lint: allow(<rule>) "
-                 "<reason>\n";
-    std::cout << "suppress one file:  `<path> <rule> <reason>` in the "
-                 "allowlist\n";
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
     bool strict = false;
     bool json = false;
+    bool facts = false;
+    std::string why_symbol;
+    khuzdul::lint::Options options;
     std::string allowlist_file;
     std::vector<std::string> paths;
 
@@ -74,11 +35,23 @@ main(int argc, char **argv)
             strict = true;
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--layering") {
+            options.layering = true;
+        } else if (arg == "--no-taint") {
+            options.taint = false;
+        } else if (arg == "--facts") {
+            facts = true;
+        } else if (arg == "--why") {
+            if (i + 1 >= argc) {
+                std::cerr << "khuzdul_lint: --why needs a symbol\n";
+                return 2;
+            }
+            why_symbol = argv[++i];
         } else if (arg == "--rules") {
-            printRules();
+            std::cout << khuzdul::lint::rulesText();
             return 0;
         } else if (arg == "--help" || arg == "-h") {
-            printUsage(std::cout);
+            std::cout << khuzdul::lint::usageText();
             return 0;
         } else if (arg == "--allowlist") {
             if (i + 1 >= argc) {
@@ -88,16 +61,19 @@ main(int argc, char **argv)
             allowlist_file = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "khuzdul_lint: unknown option " << arg << "\n";
-            printUsage(std::cerr);
+            std::cerr << khuzdul::lint::usageText();
             return 2;
         } else {
             paths.push_back(arg);
         }
     }
     if (paths.empty()) {
-        printUsage(std::cerr);
+        std::cerr << khuzdul::lint::usageText();
         return 2;
     }
+    // --facts and --why are taint queries; the pass must run.
+    if (facts || !why_symbol.empty())
+        options.taint = true;
 
     std::vector<khuzdul::lint::AllowlistEntry> allowlist;
     std::vector<std::string> allowlist_errors;
@@ -114,11 +90,30 @@ main(int argc, char **argv)
             content.str(), allowlist_file, allowlist_errors);
     }
 
-    khuzdul::lint::Report report = khuzdul::lint::analyzePaths(
-        paths, std::move(allowlist), allowlist_file);
+    khuzdul::lint::Analysis analysis = khuzdul::lint::analyzeProgram(
+        paths, std::move(allowlist), allowlist_file, options);
+    khuzdul::lint::Report &report = analysis.report;
     report.errors.insert(report.errors.begin(),
                          allowlist_errors.begin(),
                          allowlist_errors.end());
+
+    if (facts) {
+        std::cout << khuzdul::lint::factsJson(
+            analysis.program, analysis.graph, analysis.taint);
+        return report.errors.empty() ? 0 : 2;
+    }
+    if (!why_symbol.empty()) {
+        bool found = false;
+        const std::string text = khuzdul::lint::whyText(
+            analysis.program, analysis.taint, why_symbol, found);
+        if (!found) {
+            std::cerr << "khuzdul_lint: no function matches symbol `"
+                      << why_symbol << "`\n";
+            return 2;
+        }
+        std::cout << text;
+        return 0;
+    }
 
     if (json)
         std::cout << khuzdul::lint::toJson(report, strict);

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Cross-TU extraction pass for khuzdul_lint (DESIGN.md §8.4): a
+ * lightweight, libclang-free scan over sanitized source lines that
+ * produces (a) the project include graph, (b) a per-function symbol
+ * table (qualified name, file, definition line, body range) and
+ * (c) the raw call/fact sites inside each body that the call-graph
+ * and taint passes (callgraph.{hh,cc}, taint.{hh,cc}) resolve.
+ *
+ * The extractor is a brace-depth state machine over comment- and
+ * string-stripped lines: it recognizes namespace/class/function
+ * scopes by token shape, which is exact for this codebase's style
+ * (leading return types, no K&R, no decl-scope lambdas) and
+ * fail-soft everywhere else — an unrecognized construct becomes an
+ * anonymous block, never a parse error.  This file also owns the
+ * path/zone classification and text utilities shared by every lint
+ * pass.
+ */
+
+#ifndef KHUZDUL_TOOLS_LINT_SYMBOLS_HH
+#define KHUZDUL_TOOLS_LINT_SYMBOLS_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace khuzdul
+{
+namespace lint
+{
+
+// ---------------------------------------------------------------
+// Text and path utilities (shared by analyzer/callgraph/taint).
+// ---------------------------------------------------------------
+
+/** Forward/backslash and ./ normalization for scanned paths. */
+std::string normalizePath(std::string path);
+
+/** Whether @p dir appears in @p path on component boundaries. */
+bool pathHasDir(const std::string &path, const std::string &dir);
+
+bool endsWith(const std::string &s, const std::string &suffix);
+
+bool isHeaderPath(const std::string &path);
+
+bool isSourcePath(const std::string &path);
+
+/** The zones whose results feed modeled makespans and ledgers. */
+bool isModeledZone(const std::string &path);
+
+/** core/parallel/ hosts the sanctioned threading primitives. */
+bool isParallelRuntime(const std::string &path);
+
+/** core/service/ is the multi-query scheduling runtime. */
+bool isServiceRuntime(const std::string &path);
+
+/** sim/fabric.* owns the ledger and may mutate it freely. */
+bool isFabricImpl(const std::string &path);
+
+/** Fault-trigger / recovery / steal-planning TUs (§9, §11). */
+bool isRecoveryPath(const std::string &path);
+
+/** src/core/kernels/ — the one home for CPU intrinsics. */
+bool isKernelTier(const std::string &path);
+
+/**
+ * Blank out comments and string/char literal contents of one line,
+ * carrying block-comment state across lines.  Replaced bytes become
+ * spaces so column numbers keep meaning.
+ */
+std::string sanitizeLine(const std::string &raw, bool &in_block_comment);
+
+bool isBlank(const std::string &s);
+
+std::string trimCopy(const std::string &s);
+
+// ---------------------------------------------------------------
+// Extraction results.
+// ---------------------------------------------------------------
+
+/** One `#include "..."` of a scanned file (project includes only). */
+struct IncludeSite
+{
+    std::string target; ///< the quoted path as written
+    int line = 0;       ///< 1-based
+};
+
+/** One call-shaped token inside a function body. */
+struct CallSite
+{
+    std::string token; ///< possibly qualified, `::` normalized
+    int line = 0;
+    bool member = false; ///< reached through `.` or `->`
+};
+
+/** One determinism-fact token inside a function body. */
+struct FactSite
+{
+    std::string fact; ///< base rule id, e.g. "wall-clock"
+    int line = 0;
+};
+
+/** One scanned file, post-sanitization. */
+struct SourceFile
+{
+    std::string path;                   ///< normalized
+    std::vector<std::string> codeLines; ///< comments/strings blanked
+    std::vector<IncludeSite> includes;
+    /** line → (rule → reason) granted by `// khuzdul-lint:
+     *  allow(...)` whose shield resolves to that line (filled by
+     *  the analyzer before the taint pass runs). */
+    std::map<int, std::map<std::string, std::string>> allowedRules;
+};
+
+/** One function definition found by the extractor. */
+struct FunctionDef
+{
+    std::string qualified; ///< ns::Class::name as written
+    std::string file;
+    int line = 0;      ///< line carrying the function name
+    int bodyBegin = 0; ///< line of the opening brace
+    int bodyEnd = 0;   ///< line of the closing brace
+    bool inClass = false;
+    bool anonNamespace = false; ///< internal linkage: same-TU only
+    bool method = false;        ///< inClass, or parent is a class
+    std::vector<CallSite> calls;
+    std::vector<FactSite> facts;
+};
+
+/** The whole-program view the cross-TU passes run on. */
+struct Program
+{
+    std::vector<SourceFile> files;     ///< sorted by path
+    std::vector<FunctionDef> functions; ///< file order, then line
+    std::set<std::string> classQualified; ///< qualified class names
+    std::set<std::string> classNames;     ///< bare class names
+};
+
+/**
+ * The fact patterns the extractor seeds from: pairs of (base rule
+ * id, token regex source).  Kept in one place so the taint facts
+ * can never drift from the analyzer's token rules, which build
+ * their patterns from the same strings.
+ */
+const std::vector<std::pair<std::string, std::string>> &factPatterns();
+
+/**
+ * Extract functions, classes, includes and body call/fact sites
+ * from @p file (whose path/codeLines are already filled) and append
+ * them to @p program.  @p rawLines are needed because include paths
+ * live inside string literals that sanitization blanks.
+ */
+void extractFile(Program &program, SourceFile file,
+                 const std::vector<std::string> &rawLines);
+
+/** Sort files/functions and resolve FunctionDef::method flags. */
+void finalizeProgram(Program &program);
+
+} // namespace lint
+} // namespace khuzdul
+
+#endif // KHUZDUL_TOOLS_LINT_SYMBOLS_HH

@@ -1,0 +1,351 @@
+#include "tools/lint/taint.hh"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace khuzdul
+{
+namespace lint
+{
+
+namespace
+{
+
+std::string
+factLabel(const std::string &fact)
+{
+    if (fact == "wall-clock")
+        return "a wall-clock source";
+    if (fact == "prng")
+        return "a PRNG source";
+    if (fact == "unordered-iter")
+        return "unordered-container iteration";
+    if (fact == "thread-primitive")
+        return "a threading primitive";
+    if (fact == "fabric-mutation")
+        return "a raw fabric mutation";
+    if (fact == "fault-modeled-state")
+        return "host-timing state";
+    return fact;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Whether this fact site is a reviewed or structural carve-out
+ *  that must not seed taint. */
+bool
+sanctionedSeed(const std::string &fact, const SourceFile &file,
+               const int line)
+{
+    if (fact == "thread-primitive"
+        && (isParallelRuntime(file.path)
+            || isServiceRuntime(file.path)))
+        return true;
+    if (fact == "fabric-mutation" && isFabricImpl(file.path))
+        return true;
+    // A per-line annotation sanctions a seed only inside the fact's
+    // own restricted zone: there it names a reviewed in-zone
+    // carve-out.  Outside the zone ("host-only" claims on support
+    // helpers) the cross-TU pass is exactly the verifier of that
+    // claim, so the seed stays armed.
+    if (inRestrictedZone(fact, file.path)) {
+        const auto it = file.allowedRules.find(line);
+        if (it != file.allowedRules.end()
+            && it->second.count(fact) != 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+taintRuleFor(const std::string &fact)
+{
+    if (fact == "fault-modeled-state")
+        return "taint-host-time";
+    return "taint-" + fact;
+}
+
+bool
+inRestrictedZone(const std::string &fact, const std::string &path)
+{
+    if (fact == "thread-primitive")
+        return isModeledZone(path) && !isParallelRuntime(path)
+            && !isServiceRuntime(path);
+    if (fact == "fabric-mutation")
+        return isModeledZone(path) && !isFabricImpl(path);
+    if (fact == "fault-modeled-state")
+        return isRecoveryPath(path);
+    return isModeledZone(path);
+}
+
+std::vector<std::string>
+chainFor(const Program &program, const FactTaint &taint, int fn)
+{
+    std::vector<std::string> chain;
+    if (fn < 0
+        || taint.dist[static_cast<std::size_t>(fn)] < 0)
+        return chain;
+    int at = fn;
+    while (at >= 0) {
+        const auto idx = static_cast<std::size_t>(at);
+        const FunctionDef &def = program.functions[idx];
+        const int line = taint.parent[idx] >= 0
+            ? taint.parentLine[idx]
+            : taint.seedLine[idx];
+        chain.push_back(def.qualified + " (" + def.file + ":"
+                        + std::to_string(line) + ")");
+        at = taint.parent[idx];
+    }
+    return chain;
+}
+
+TaintResult
+propagateTaint(const Program &program, const CallGraph &graph)
+{
+    TaintResult result;
+    const std::size_t nFns = program.functions.size();
+
+    std::map<std::string, const SourceFile *> filesByPath;
+    for (const SourceFile &file : program.files)
+        filesByPath[file.path] = &file;
+
+    for (const auto &[fact, pattern] : factPatterns()) {
+        (void)pattern;
+        FactTaint taint;
+        taint.fact = fact;
+        taint.dist.assign(nFns, -1);
+        taint.parent.assign(nFns, -1);
+        taint.parentLine.assign(nFns, 0);
+        taint.seedLine.assign(nFns, 0);
+
+        std::deque<int> queue;
+        for (std::size_t i = 0; i < nFns; ++i) {
+            const FunctionDef &fn = program.functions[i];
+            const auto fileIt = filesByPath.find(fn.file);
+            if (fileIt == filesByPath.end())
+                continue;
+            for (const FactSite &site : fn.facts) {
+                if (site.fact != fact)
+                    continue;
+                if (sanctionedSeed(fact, *fileIt->second,
+                                   site.line))
+                    continue;
+                taint.dist[i] = 0;
+                taint.seedLine[i] = site.line;
+                ++result.seedCount;
+                // Seeds inside the restricted zone are already
+                // direct per-line findings; they are their own
+                // frontier and do not propagate further.
+                if (!inRestrictedZone(fact, fn.file))
+                    queue.push_back(static_cast<int>(i));
+                break;
+            }
+        }
+
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop_front();
+            for (const int edgeIdx :
+                 graph.inEdges[static_cast<std::size_t>(u)]) {
+                const CallEdge &edge
+                    = graph.edges[static_cast<std::size_t>(edgeIdx)];
+                const auto c
+                    = static_cast<std::size_t>(edge.caller);
+                if (taint.dist[c] >= 0)
+                    continue;
+                taint.dist[c]
+                    = taint.dist[static_cast<std::size_t>(u)] + 1;
+                taint.parent[c] = edge.callee;
+                taint.parentLine[c] = edge.line;
+                const FunctionDef &caller = program.functions[c];
+                if (inRestrictedZone(fact, caller.file)) {
+                    // The taint frontier: report and stop here.
+                    TaintFinding finding;
+                    finding.rule = taintRuleFor(fact);
+                    finding.fact = fact;
+                    finding.file = caller.file;
+                    finding.line = edge.line;
+                    finding.function = caller.qualified;
+                    finding.chain = chainFor(
+                        program, taint, static_cast<int>(c));
+                    std::string joined;
+                    for (const std::string &hop : finding.chain) {
+                        if (!joined.empty())
+                            joined += " -> ";
+                        joined += hop;
+                    }
+                    finding.message = "'" + caller.qualified
+                        + "' reaches " + factLabel(fact)
+                        + " through call chain: " + joined;
+                    result.findings.push_back(std::move(finding));
+                } else {
+                    queue.push_back(static_cast<int>(c));
+                }
+            }
+        }
+        result.perFact.push_back(std::move(taint));
+    }
+
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const TaintFinding &a, const TaintFinding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.function < b.function;
+              });
+    return result;
+}
+
+std::string
+whyText(const Program &program, const TaintResult &taint,
+        const std::string &symbol, bool &found)
+{
+    std::ostringstream out;
+    found = false;
+    for (std::size_t i = 0; i < program.functions.size(); ++i) {
+        const FunctionDef &fn = program.functions[i];
+        if (fn.qualified != symbol
+            && !endsWith(fn.qualified, "::" + symbol))
+            continue;
+        found = true;
+        out << fn.qualified << " (" << fn.file << ":" << fn.line
+            << ")\n";
+        bool anyTaint = false;
+        for (const FactTaint &fact : taint.perFact) {
+            const int dist = fact.dist[i];
+            if (dist < 0)
+                continue;
+            anyTaint = true;
+            if (dist == 0) {
+                out << "  " << fact.fact << ": direct seed at "
+                    << fn.file << ":" << fact.seedLine[i] << "\n";
+                continue;
+            }
+            out << "  " << fact.fact << ": tainted (" << dist
+                << (dist == 1 ? " hop" : " hops") << ")\n";
+            for (const std::string &hop :
+                 chainFor(program, fact, static_cast<int>(i)))
+                out << "    -> " << hop << "\n";
+        }
+        if (!anyTaint)
+            out << "  clean: no determinism facts reachable\n";
+    }
+    return out.str();
+}
+
+std::string
+factsJson(const Program &program, const CallGraph &graph,
+          const TaintResult &taint)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema_version\": 2,\n";
+    out << "  \"tool\": \"khuzdul_lint --facts\",\n";
+    out << "  \"files\": " << program.files.size() << ",\n";
+    out << "  \"functions\": " << program.functions.size() << ",\n";
+    out << "  \"call_edges\": " << graph.edges.size() << ",\n";
+
+    out << "  \"facts\": [";
+    bool firstFact = true;
+    for (const FactTaint &fact : taint.perFact) {
+        int seeds = 0;
+        int tainted = 0;
+        for (const int d : fact.dist) {
+            if (d == 0)
+                ++seeds;
+            else if (d > 0)
+                ++tainted;
+        }
+        int findings = 0;
+        for (const TaintFinding &f : taint.findings)
+            if (f.fact == fact.fact)
+                ++findings;
+        out << (firstFact ? "\n" : ",\n");
+        firstFact = false;
+        out << "    {\"fact\": \"" << jsonEscape(fact.fact)
+            << "\", \"rule\": \"" << jsonEscape(taintRuleFor(fact.fact))
+            << "\", \"seeds\": " << seeds
+            << ", \"tainted\": " << tainted
+            << ", \"findings\": " << findings << "}";
+    }
+    out << "\n  ],\n";
+
+    out << "  \"seeds\": [";
+    bool firstSeed = true;
+    for (const FactTaint &fact : taint.perFact)
+        for (std::size_t i = 0; i < fact.dist.size(); ++i) {
+            if (fact.dist[i] != 0)
+                continue;
+            const FunctionDef &fn = program.functions[i];
+            out << (firstSeed ? "\n" : ",\n");
+            firstSeed = false;
+            out << "    {\"fact\": \"" << jsonEscape(fact.fact)
+                << "\", \"function\": \""
+                << jsonEscape(fn.qualified) << "\", \"file\": \""
+                << jsonEscape(fn.file)
+                << "\", \"line\": " << fact.seedLine[i] << "}";
+        }
+    out << "\n  ],\n";
+
+    out << "  \"chains\": [";
+    bool firstChain = true;
+    for (const TaintFinding &f : taint.findings) {
+        out << (firstChain ? "\n" : ",\n");
+        firstChain = false;
+        out << "    {\"rule\": \"" << jsonEscape(f.rule)
+            << "\", \"function\": \"" << jsonEscape(f.function)
+            << "\", \"file\": \"" << jsonEscape(f.file)
+            << "\", \"line\": " << f.line << ", \"chain\": [";
+        for (std::size_t h = 0; h < f.chain.size(); ++h) {
+            if (h != 0)
+                out << ", ";
+            out << "\"" << jsonEscape(f.chain[h]) << "\"";
+        }
+        out << "]}";
+    }
+    out << "\n  ]\n";
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace lint
+} // namespace khuzdul

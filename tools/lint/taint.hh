@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Transitive determinism taint for khuzdul_lint (DESIGN.md §8.4).
+ *
+ * Every function body is seeded with determinism *facts* — the same
+ * token patterns the per-line rules use (wall-clock, prng,
+ * unordered-iter, thread-primitive, fabric-mutation,
+ * fault-modeled-state) — and each fact is propagated backwards over
+ * the resolved call graph.  A finding is raised when the taint
+ * frontier reaches a function whose file sits inside that fact's
+ * restricted zone at one or more call hops from the seed: the chain
+ * `core/extender -> support/format -> std::chrono` the per-line
+ * scanner can never see.
+ *
+ * Seeding is zone-aware: a fact site whose line carries a reviewed
+ * `khuzdul-lint: allow(<rule>)` annotation *inside the fact's
+ * restricted zone* is a sanctioned carve-out and does not seed, as
+ * are the structural carve-outs (core/parallel + core/service for
+ * thread primitives, sim/fabric.* for fabric mutation).  Annotations
+ * outside the restricted zone never block seeding — a host-only
+ * claim on a support helper is exactly what this pass verifies.
+ *
+ * Propagation stops at the first restricted-zone function reached
+ * (the taint frontier): callers of an already-flagged function are
+ * not flagged again, so one leaky helper yields one finding per
+ * entry point instead of a cascade.
+ */
+
+#ifndef KHUZDUL_TOOLS_LINT_TAINT_HH
+#define KHUZDUL_TOOLS_LINT_TAINT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/callgraph.hh"
+#include "tools/lint/symbols.hh"
+
+namespace khuzdul
+{
+namespace lint
+{
+
+/** Taint rule id for a base fact ("wall-clock" ->
+ *  "taint-wall-clock", "fault-modeled-state" -> "taint-host-time"). */
+std::string taintRuleFor(const std::string &fact);
+
+/** Whether @p fact is restricted in the file at @p path (the zone
+ *  where the matching per-line rule fires). */
+bool inRestrictedZone(const std::string &fact,
+                      const std::string &path);
+
+/** One transitive violation: a restricted-zone function reaching a
+ *  fact through >= 1 call hops. */
+struct TaintFinding
+{
+    std::string rule; ///< "taint-wall-clock", ...
+    std::string fact; ///< base rule id
+    std::string file; ///< the flagged function's file
+    int line = 0;     ///< first-hop call-site line in that file
+    std::string function;           ///< qualified name
+    std::vector<std::string> chain; ///< "qual (file:line)" hops
+    std::string message;
+};
+
+/** Per-fact BFS state, kept so --why can replay chains. */
+struct FactTaint
+{
+    std::string fact;
+    std::vector<int> dist;       ///< -1 untainted, 0 seed
+    std::vector<int> parent;     ///< next hop toward the seed
+    std::vector<int> parentLine; ///< call-site line in this fn
+    std::vector<int> seedLine;   ///< fact line for dist-0 fns
+};
+
+struct TaintResult
+{
+    std::vector<TaintFinding> findings; ///< sorted (file, line)
+    std::vector<FactTaint> perFact;     ///< factPatterns() order
+    int seedCount = 0; ///< unsanctioned seeds across all facts
+};
+
+/** Seed and propagate every fact.  Requires the analyzer to have
+ *  filled SourceFile::allowedRules first. */
+TaintResult propagateTaint(const Program &program,
+                           const CallGraph &graph);
+
+/** The chain from function @p fn back to its seed for @p fact,
+ *  formatted "qual (file:line)" per hop; empty when untainted. */
+std::vector<std::string> chainFor(const Program &program,
+                                  const FactTaint &taint, int fn);
+
+/**
+ * Human-readable taint explanation for a symbol (exact qualified
+ * name, or any function whose qualified name ends with
+ * "::<symbol>").  Sets @p found to false when no function matches.
+ */
+std::string whyText(const Program &program,
+                    const TaintResult &taint,
+                    const std::string &symbol, bool &found);
+
+/** The --facts dump: schema-v2 JSON with the symbol table summary,
+ *  per-fact seed/taint counts, seed sites and live chains.  Built
+ *  only from sorted state so back-to-back runs are byte-identical. */
+std::string factsJson(const Program &program, const CallGraph &graph,
+                      const TaintResult &taint);
+
+} // namespace lint
+} // namespace khuzdul
+
+#endif // KHUZDUL_TOOLS_LINT_TAINT_HH
