@@ -30,7 +30,8 @@ struct Intensity
 {
     std::string name;
     std::vector<std::string> specs;
-    bool gated = false; ///< makespan bound enforced under --check
+    bool gated = false;  ///< makespan bound enforced under --check
+    double bound = 2.0;  ///< inflation ceiling when gated
 };
 
 std::vector<Intensity>
@@ -49,7 +50,14 @@ intensities()
         {"moderate",
          {"drop:0-1:msg=1", "drop:2-3:msg=1", "drop:4-5:msg=2",
           "degrade:6-7:factor=3:from=0"},
-         true},
+         true, 2.0},
+        // Gated crash plan (DESIGN.md §9): one execution unit dies
+        // at mid-depth; survivors re-execute from the last
+        // checkpoint and adopt its orphaned chunks.  The replay is
+        // double-paid by design, so the ceiling is looser than the
+        // fetch-retry ladder's — but a single crash out of 18 units
+        // must never 2.5x the whole run.
+        {"crash", {"crash:5:level=1:chunk=1"}, true, 2.5},
         {"heavy",
          {"drop:*-*:msg=1:count=4", "timeout:*-*:msg=6:count=3",
           "degrade:*-*:factor=4:from=0", "down:node=8:from=0"},
@@ -65,6 +73,8 @@ struct AppRow
     std::uint64_t faultsInjected = 0;
     std::uint64_t chunksReplayed = 0;
     double recoveryNs = 0;
+    std::uint64_t unitCrashes = 0;
+    std::uint64_t chunksAdopted = 0;
 };
 
 struct PlanRow
@@ -106,6 +116,8 @@ runPlan(const Graph &g, const Intensity &intensity)
         r.faultsInjected = cell.stats.totalFaultsInjected();
         r.chunksReplayed = cell.stats.totalChunksReplayed();
         r.recoveryNs = cell.stats.totalRecoveryNs();
+        r.unitCrashes = cell.stats.totalUnitCrashes();
+        r.chunksAdopted = cell.stats.totalChunksAdopted();
         row.apps.push_back(std::move(r));
     }
     return row;
@@ -173,27 +185,94 @@ main(int argc, char **argv)
     }
     table.printRule();
 
-    // --- Gate: moderate-plan overhead stays under 2x -------------
+    // --- Gates: each gated plan stays under its inflation bound --
     for (const PlanRow &row : plans) {
         bool gated = false;
+        double bound = 2.0;
         for (const Intensity &intensity : intensities())
-            if (intensity.name == row.intensity)
+            if (intensity.name == row.intensity) {
                 gated = intensity.gated;
+                bound = intensity.bound;
+            }
         if (!gated)
             continue;
         std::uint64_t injected = 0;
+        std::uint64_t crashed = 0;
         for (std::size_t a = 0; a < row.apps.size(); ++a) {
             injected += row.apps[a].faultsInjected;
+            crashed += row.apps[a].unitCrashes;
             const double base = baseline.apps[a].makespanNs;
-            if (base > 0 && row.apps[a].makespanNs >= 2.0 * base)
+            if (base > 0 && row.apps[a].makespanNs >= bound * base)
                 fail(row.apps[a].app + ": plan '" + row.intensity
                      + "' inflates makespan "
                      + std::to_string(row.apps[a].makespanNs / base)
-                     + "x >= 2x");
+                     + "x >= " + std::to_string(bound) + "x");
         }
-        if (injected == 0)
+        if (injected + crashed == 0)
             fail("plan '" + row.intensity
                  + "' injected no faults; the gate is vacuous");
+        if (row.intensity == "crash" && crashed == 0)
+            fail("crash plan never killed a unit; the gate is "
+                 "vacuous");
+    }
+
+    // --- Gate: checkpoint overhead on a fault-free run < 5% ------
+    // With --checkpoint armed but no crash plan, every level-0
+    // chunk close pays CostModel::checkpointNs; insurance has to
+    // stay cheap relative to the run it protects.  Overhead is
+    // measured where it matters — on the critical path: the armed
+    // run's makespan must stay under 1.05x the unarmed one (the
+    // summed per-unit charge lands mostly in parallel slack).
+    struct CkptRow
+    {
+        std::string app;
+        double makespanNs = 0;
+        double overheadNs = 0;
+        std::uint64_t checkpoints = 0;
+    };
+    std::vector<CkptRow> ckpt_rows;
+    {
+        core::EngineConfig config = bench::standInEngineConfig(9);
+        config.checkpointEnabled = true;
+        auto system = engines::KhuzdulSystem::kGraphPi(mc.graph,
+                                                       config);
+        std::size_t a = 0;
+        for (const bench::App &app : bench::paperApps()) {
+            bench::Cell cell = bench::runOnKhuzdul(*system, app);
+            if (!cell.ok) {
+                fail(app.name + " with --checkpoint: " + cell.error);
+                ++a;
+                continue;
+            }
+            CkptRow r;
+            r.app = app.name;
+            r.makespanNs = cell.makespanNs;
+            r.overheadNs = cell.stats.totalCheckpointOverheadNs();
+            r.checkpoints = cell.stats.totalCheckpoints();
+            if (cell.count != baseline.apps[a].count)
+                fail(app.name
+                     + ": checkpointing changed the count");
+            if (r.checkpoints == 0)
+                fail(app.name + ": checkpointing armed but no "
+                               "checkpoints taken (vacuous gate)");
+            const double base = baseline.apps[a].makespanNs;
+            if (base > 0 && r.makespanNs >= 1.05 * base)
+                fail(app.name + ": checkpointing inflates makespan "
+                     + std::to_string(r.makespanNs / base)
+                     + "x >= 1.05x");
+            ckpt_rows.push_back(std::move(r));
+            ++a;
+        }
+    }
+    std::printf("\ncheckpoint overhead (fault-free, --checkpoint):\n");
+    for (std::size_t i = 0; i < ckpt_rows.size(); ++i) {
+        const CkptRow &r = ckpt_rows[i];
+        const double base = baseline.apps[i].makespanNs;
+        std::printf("  %-6s %6llu checkpoints, makespan %.3fx "
+                    "unarmed\n",
+                    r.app.c_str(),
+                    static_cast<unsigned long long>(r.checkpoints),
+                    base > 0 ? r.makespanNs / base : 0.0);
     }
 
     std::ofstream out(out_path);
@@ -219,11 +298,21 @@ main(int argc, char **argv)
                 << (base > 0 ? r.makespanNs / base : 0.0)
                 << ", \"faults_injected\": " << r.faultsInjected
                 << ", \"chunks_replayed\": " << r.chunksReplayed
-                << ", \"recovery_ns\": " << r.recoveryNs << "}";
+                << ", \"recovery_ns\": " << r.recoveryNs
+                << ", \"unit_crashes\": " << r.unitCrashes
+                << ", \"chunks_adopted\": " << r.chunksAdopted << "}";
         }
         out << "]}";
     }
-    out << "\n  ],\n  \"check_passed\": "
+    out << "\n  ],\n  \"checkpoint_overhead\": [";
+    for (std::size_t i = 0; i < ckpt_rows.size(); ++i) {
+        const CkptRow &r = ckpt_rows[i];
+        out << (i == 0 ? "" : ", ") << "{\"app\": \"" << r.app
+            << "\", \"checkpoints\": " << r.checkpoints
+            << ", \"overhead_ns\": " << r.overheadNs
+            << ", \"makespan_ns\": " << r.makespanNs << "}";
+    }
+    out << "],\n  \"check_passed\": "
         << (failed ? "false" : "true") << "\n}\n";
     std::printf("wrote %s\n", out_path.c_str());
 

@@ -4,11 +4,15 @@
 #include <chrono>
 #include <span>
 
+#include <limits>
+
 #include "core/chunk.hh"
 #include "core/circulant.hh"
 #include "core/extender.hh"
 #include "core/horizontal.hh"
+#include "core/parallel/cancel.hh"
 #include "core/parallel/thread_pool.hh"
+#include "core/recovery/recovery.hh"
 #include "core/steal/steal.hh"
 #include "support/check.hh"
 
@@ -42,18 +46,22 @@ class HybridExplorer
                    sim::TransferRecorder &recorder,
                    std::span<std::uint64_t> sent_bytes,
                    sim::TraceSink &sink,
-                   std::vector<ChunkRecord> *steal_ledger)
+                   std::vector<ChunkRecord> *steal_ledger,
+                   CrashReport *crash_report)
         : engine_(engine), graph_(*engine.graph_), plan_(plan),
           visitor_(visitor), unit_(unit), stats_(stats),
           recorder_(recorder), sentBytes_(sent_bytes), sink_(sink),
-          stealLedger_(steal_ledger),
+          stealLedger_(steal_ledger), crash_(crash_report),
           provider_(*engine.providers_[unit]),
           faults_(engine.faultSessions_.empty()
                       ? nullptr
                       : engine.faultSessions_[unit].get()),
           extender_(*engine.graph_, plan, engine.config_.cost,
                     engine.config_.kernelMode),
-          cores_(engine.computeCoresPerUnit())
+          cores_(engine.computeCoresPerUnit()),
+          deadlineNs_(engine.session_.deadlineNs),
+          deadlineStartNs_(stats.totalNs()),
+          cancel_(engine.cancel_)
     {
         const int n = plan.pattern.size();
         chunkedLevels_ = plan.hasIep ? plan.numMaterializedLevels()
@@ -64,6 +72,8 @@ class HybridExplorer
             scheds_.emplace_back(unit, engine.partition_.numUnits(),
                                  engine.partition_.socketsPerNode());
         }
+        if (crash_)
+            chunkOpens_.assign(chunkedLevels_, 0);
         penalty_ = 1.0;
         if (!engine.config_.numaAware
             && engine.config_.cluster.socketsPerNode >= 2)
@@ -96,16 +106,71 @@ class HybridExplorer
                 chunk0.add(v, kNoParent, root_level.fetchEdgeList);
                 ++stats_.embeddingsCreated;
             }
-            if (!chunk0.empty())
+            if (!chunk0.empty()) {
                 processLevel(0);
+                checkpoint();
+            }
             chunk0.reset();
             tables_[0].clear();
         }
+        if (crash_ && crashed_)
+            crash_->lost = std::move(sinceCheckpoint_);
         return raw_;
     }
 
   private:
     sim::TraceSink &trace() { return sink_; }
+
+    /** Crash trigger (DESIGN.md §9): the unit dies the instant it
+     *  opens its K-th chunk of level L, read purely from its own
+     *  chunk ordinals — bit-identical at every thread count.  The
+     *  host keeps enumerating (counts stay exact by construction);
+     *  everything this ghost run charges past the crash point is
+     *  restored away post-merge, and its chunks become the orphans
+     *  survivors adopt. */
+    void
+    maybeCrash(int level)
+    {
+        if (!crash_ || crashed_)
+            return;
+        const std::uint64_t ordinal = ++chunkOpens_[level];
+        for (const sim::FaultSpec &f :
+             engine_.config_.faults.specs()) {
+            if (f.kind != sim::FaultKind::Crash || f.unit != unit_
+                || f.level != level || f.chunk != ordinal)
+                continue;
+            crashed_ = true;
+            crash_->unit = unit_;
+            crash_->level = level;
+            crash_->chunkOrdinal = ordinal;
+            crash_->computeNs = stats_.computeNs;
+            crash_->commExposedNs = stats_.commExposedNs;
+            crash_->commTotalNs = stats_.commTotalNs;
+            crash_->schedulerNs = stats_.schedulerNs;
+            crash_->cacheNs = stats_.cacheNs;
+            trace().emit({sim::PhaseEvent::UnitCrashed, unit_,
+                          level, ordinal, 0});
+            return;
+        }
+    }
+
+    /** Level-0 barrier checkpoint (DESIGN.md §9): the DFS stack is
+     *  drained here, so the partial count and the closed-chunk
+     *  ledger form a consistent cut.  Chunks closed before this cut
+     *  are durable and can never be lost to a later crash. */
+    void
+    checkpoint()
+    {
+        if (!crash_ || crashed_)
+            return;
+        const double charge = engine_.config_.cost.checkpointNs;
+        stats_.schedulerNs += charge;
+        stats_.checkpointOverheadNs += charge;
+        ++stats_.checkpointsTaken;
+        trace().emit({sim::PhaseEvent::Checkpoint, unit_, 0,
+                      sinceCheckpoint_.size(), 0});
+        sinceCheckpoint_.clear();
+    }
 
     /** Communication phase of one chunk: resolve every embedding's
      *  new edge list through the provider chain; Remote outcomes
@@ -173,6 +238,10 @@ class HybridExplorer
     void
     processLevel(int level)
     {
+        if (cancel_ && cancel_->cancelled())
+            throw sim::QueryCancelled(
+                "query cancelled at a chunk boundary");
+        maybeCrash(level);
         Chunk &chunk = chunks_[level];
         const sim::CostModel &cost = engine_.config_.cost;
         ++stats_.chunksProcessed;
@@ -220,20 +289,42 @@ class HybridExplorer
         stats_.computeNs += t.computeNs;
         stats_.commTotalNs += t.commNs;
         stats_.commExposedNs += t.exposedNs;
-        if (stealLedger_) {
-            // Donation ledger (DESIGN.md §11): remember what this
-            // chunk charged, and the fault-free prices a healthy
-            // thief re-fetching the same lists would pay.
-            const auto base =
-                scheds_[level].basePipeline(cores_, penalty_);
-            stealLedger_->push_back(
-                {unit_, level, chunk.size(),
-                 columnWireBytes(chunk.size(), level), t.computeNs,
-                 t.commNs, t.exposedNs, base.commNs, base.exposedNs});
+        if (stealLedger_ || crash_) {
+            // Donation/recovery ledgers (DESIGN.md §9, §11):
+            // remember what this chunk charged, and the fault-free
+            // prices a healthy peer re-running it would pay.
+            const ChunkRecord rec = [&] {
+                const auto base =
+                    scheds_[level].basePipeline(cores_, penalty_);
+                return ChunkRecord{
+                    unit_, level, chunk.size(),
+                    columnWireBytes(chunk.size(), level),
+                    t.computeNs, t.commNs, t.exposedNs, base.commNs,
+                    base.exposedNs};
+            }();
+            if (crashed_) {
+                // Past the crash point the chunk never ran on this
+                // unit: it is an orphan a survivor adopts.
+                crash_->orphans.push_back(rec);
+            } else {
+                if (stealLedger_)
+                    stealLedger_->push_back(rec);
+                if (crash_)
+                    sinceCheckpoint_.push_back(rec);
+            }
         }
         flushKernelCounters(level);
         trace().emit({sim::PhaseEvent::ChunkClose, unit_, level,
                       chunk.size(), 0});
+        // The deadline is modeled state (the unit's own run-local
+        // clock), so whether and where it fires is a pure function
+        // of the config — unlike cancellation above, which is a
+        // host-side request and makes no determinism claim.
+        if (deadlineNs_ > 0
+            && stats_.totalNs() - deadlineStartNs_ > deadlineNs_)
+            throw sim::DeadlineExceeded(
+                "modeled deadline exceeded at a chunk boundary "
+                "(--deadline)");
     }
 
     /** Fold the dispatcher tallies accumulated since the previous
@@ -275,12 +366,23 @@ class HybridExplorer
     std::span<std::uint64_t> sentBytes_;
     sim::TraceSink &sink_;
     std::vector<ChunkRecord> *stealLedger_;
+    CrashReport *crash_;
     EdgeListProvider &provider_;
     sim::FaultSession *faults_;
     PlanExtender extender_;
     unsigned cores_;
+    double deadlineNs_;
+    double deadlineStartNs_;
+    const CancelToken *cancel_;
     double penalty_ = 1.0;
     int chunkedLevels_ = 0;
+    bool crashed_ = false;
+
+    /** Per-level 1-based chunk-open ordinals (crash triggers). */
+    std::vector<std::uint64_t> chunkOpens_;
+
+    /** Chunks closed since the last checkpoint: lost if we crash. */
+    std::vector<ChunkRecord> sinceCheckpoint_;
 
     std::vector<Chunk> chunks_;
     std::vector<HorizontalTable> tables_;
@@ -321,6 +423,9 @@ EngineConfig::session() const
     session.faults = faults;
     session.stealEnabled = stealEnabled;
     session.stealBacklogThresholdNs = stealBacklogThresholdNs;
+    session.deadlineNs = deadlineNs;
+    session.checkpointEnabled = checkpointEnabled;
+    session.maxQueryRetries = maxQueryRetries;
     return session;
 }
 
@@ -351,6 +456,9 @@ composeConfig(const GraphSetup &setup, const SessionConfig &session)
     config.faults = session.faults;
     config.stealEnabled = session.stealEnabled;
     config.stealBacklogThresholdNs = session.stealBacklogThresholdNs;
+    config.deadlineNs = session.deadlineNs;
+    config.checkpointEnabled = session.checkpointEnabled;
+    config.maxQueryRetries = session.maxQueryRetries;
     return config;
 }
 
@@ -375,6 +483,8 @@ Engine::Engine(std::unique_ptr<GraphContext> owned,
       fabric_(partition_, config_.cost)
 {
     const Graph &g = *graph_;
+    config_.faults.validate(partition_.numNodes(),
+                            partition_.numUnits());
     stats_.nodes.resize(partition_.numUnits());
     if ((config_.kernelMode == KernelMode::Auto
          || config_.kernelMode == KernelMode::Bitmap)
@@ -457,13 +567,23 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
     // (DESIGN.md §11); each unit appends only to its own slot.
     std::vector<std::vector<ChunkRecord>> stealLedgers(
         session_.stealEnabled ? units : 0);
+    // Per-unit crash reports for the post-barrier recovery pass
+    // (DESIGN.md §9); chunkOrdinal == 0 marks an untouched slot.
+    // A crash plan implies checkpointing; checkpointEnabled alone
+    // arms the barriers (to measure fault-free overhead) without
+    // any crash ever firing.
+    const bool recovery_armed = session_.checkpointEnabled
+        || config_.faults.hasCrash();
+    std::vector<CrashReport> crashReports(
+        recovery_armed ? units : 0);
 
     const auto run_unit = [&](std::size_t u) {
         unitSinks_[u]->clear(); // drop leftovers of a failed run
         HybridExplorer explorer(
             *this, static_cast<unsigned>(u), plan, visitor,
             stats_.nodes[u], deltas[u], sent[u], *unitSinks_[u],
-            session_.stealEnabled ? &stealLedgers[u] : nullptr);
+            session_.stealEnabled ? &stealLedgers[u] : nullptr,
+            recovery_armed ? &crashReports[u] : nullptr);
         raws[u] = explorer.run();
     };
 
@@ -494,6 +614,69 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
         raw += raws[u];
     }
 
+    // Post-barrier recovery pass (DESIGN.md §9): runs strictly
+    // after the ordered merge and before the steal pass, over
+    // merged modeled state only — the same pure-function contract
+    // as stealing.  Dead units are frozen at their crash snapshot
+    // (the ghost charges of the host's continued enumeration are
+    // restored away); their lost and orphaned chunks are adopted by
+    // survivors at fault-free prices plus a handshake and the
+    // fabric-priced column transfer.  Counts are never touched.
+    std::vector<CrashReport> crashes;
+    for (CrashReport &report : crashReports)
+        if (report.chunkOrdinal != 0)
+            crashes.push_back(std::move(report));
+    if (!crashes.empty()) {
+        for (const CrashReport &r : crashes) {
+            sim::NodeStats &dead = stats_.nodes[r.unit];
+            dead.computeNs = r.computeNs;
+            dead.commExposedNs = r.commExposedNs;
+            dead.commTotalNs = r.commTotalNs;
+            dead.schedulerNs = r.schedulerNs;
+            dead.cacheNs = r.cacheNs;
+            dead.unitCrashes += 1;
+            dead.chunksOrphaned += r.lost.size() + r.orphans.size();
+        }
+        std::vector<double> finish(units, 0);
+        for (unsigned u = 0; u < units; ++u)
+            finish[u] = stats_.nodes[u].totalNs();
+        const RecoveryPlanner planner(fabric_);
+        const auto adoptions = planner.plan(crashes, std::move(finish));
+        const double handshake = config_.cost.adoptionHandshakeNs;
+        const unsigned units_per_node = partition_.socketsPerNode();
+        for (const AdoptionDecision &d : adoptions) {
+            const ChunkRecord &rec = d.chunk;
+            const NodeId an = d.adopter / units_per_node;
+            const NodeId vn = d.victim / units_per_node;
+            // khuzdul-lint: allow(fabric-mutation) adoption commit: the sequential post-merge pass IS the sanctioned entry point
+            fabric_.recordTransfer(an, vn, rec.columnBytes, 1);
+            sim::NodeStats &adopter = stats_.nodes[d.adopter];
+            sim::NodeStats &victim = stats_.nodes[d.victim];
+            // Mirror of the planner's finish[] update: the adopter
+            // re-runs the chunk at fault-free prices from the
+            // checkpointed columns.  Lost chunks are double-paid by
+            // design — the dead unit's burned time stays in its
+            // frozen snapshot AND the adopter replays the work,
+            // which is exactly what re-execution from a checkpoint
+            // costs.  The victim's frozen times are never touched;
+            // only its send-side volume grows (the checkpoint store
+            // on its node ships the columns).
+            adopter.computeNs += rec.computeNs;
+            adopter.commExposedNs += rec.baseExposedNs + d.transferNs;
+            adopter.commTotalNs += rec.baseCommNs + d.transferNs;
+            adopter.schedulerNs += handshake;
+            adopter.bytesReceived += rec.columnBytes;
+            adopter.messagesSent += 1;
+            adopter.chunksAdopted += 1;
+            adopter.adoptionBytesIn += rec.columnBytes;
+            adopter.adoptionNs += handshake + d.transferNs;
+            victim.bytesSent += rec.columnBytes;
+            victim.adoptionBytesOut += rec.columnBytes;
+            tracer_.emit({sim::PhaseEvent::ChunkAdopted, d.adopter,
+                          rec.level, rec.embeddings, d.victim});
+        }
+    }
+
     // Post-barrier steal pass (DESIGN.md §11): rebalance tail
     // chunks from backlogged units onto idle ones.  Runs strictly
     // after the ordered merge, over merged modeled state only, so
@@ -504,6 +687,13 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
         std::vector<double> finish(units, 0);
         for (unsigned u = 0; u < units; ++u)
             finish[u] = stats_.nodes[u].totalNs();
+        // Dead units neither donate nor steal: an empty ledger
+        // disqualifies them as victims, an infinite finish as
+        // thieves.  Their chunks already moved in the recovery pass.
+        for (const CrashReport &r : crashes) {
+            stealLedgers[r.unit].clear();
+            finish[r.unit] = std::numeric_limits<double>::infinity();
+        }
         const StealPlanner planner(
             fabric_, session_.stealBacklogThresholdNs);
         const auto decisions =
@@ -573,6 +763,18 @@ Engine::run(const ExtendPlan &plan, MatchVisitor *visitor)
                   "raw count " << raw << " not divisible by "
                   << plan.countDivisor);
     return static_cast<Count>(raw / plan.countDivisor);
+}
+
+void
+Engine::chargeQueryRetry(unsigned attempt)
+{
+    KHUZDUL_REQUIRE(attempt >= 1, "retry attempts are 1-based");
+    double backoff = config_.cost.queryRetryBackoffNs;
+    for (unsigned k = 1; k < attempt; ++k)
+        backoff *= 2;
+    stats_.startupNs += backoff;
+    ++stats_.queryRetries;
+    tracer_.emit({sim::PhaseEvent::QueryRetried, 0, 0, attempt, 0});
 }
 
 void

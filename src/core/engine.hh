@@ -55,6 +55,7 @@ namespace core
 {
 
 class ThreadPool;
+class CancelToken;
 
 /**
  * Per-query session tunables — the knobs that are legitimately a
@@ -106,6 +107,30 @@ struct SessionConfig
     /** Minimum remaining modeled backlog (ns) before a unit is
      *  considered a steal victim (CLI `--steal-threshold`). */
     double stealBacklogThresholdNs = 1.0e5;
+
+    /**
+     * Modeled per-query deadline (ns, CLI `--deadline`); 0 = none.
+     * Checked at chunk boundaries against the unit's run-local
+     * modeled time, so whether a run exceeds its deadline is a pure
+     * function of the config — an exceeded deadline raises the
+     * typed sim::DeadlineExceeded at every thread count.
+     */
+    double deadlineNs = 0;
+
+    /**
+     * Level-barrier checkpointing (DESIGN.md §9, CLI `--checkpoint`):
+     * every unit logically snapshots its partial counts and pending
+     * ledger at each level-0 barrier, charged CostModel::checkpointNs.
+     * Implicitly armed whenever the fault plan contains a crash spec
+     * (recovery needs the checkpoints); enable explicitly to measure
+     * the fault-free overhead.
+     */
+    bool checkpointEnabled = false;
+
+    /** Whole-query retries the service may spend on a failed run
+     *  (CLI `--query-retries`); each attempt k charges a modeled
+     *  backoff of queryRetryBackoffNs * 2^(k-1).  0 = fail fast. */
+    unsigned maxQueryRetries = 0;
 };
 
 /** All engine tunables; defaults mirror the paper's configuration
@@ -195,6 +220,18 @@ struct EngineConfig
 
     /** Minimum modeled backlog (ns) before a unit donates. */
     double stealBacklogThresholdNs = 1.0e5;
+
+    /** Modeled per-query deadline (ns); 0 = none.  See
+     *  SessionConfig::deadlineNs for the contract. */
+    double deadlineNs = 0;
+
+    /** Level-barrier checkpointing; see
+     *  SessionConfig::checkpointEnabled. */
+    bool checkpointEnabled = false;
+
+    /** Whole-query retry budget of the service; see
+     *  SessionConfig::maxQueryRetries. */
+    unsigned maxQueryRetries = 0;
 
     /** The graph-resident half (GraphContext construction). */
     GraphSetup graphSetup() const;
@@ -310,6 +347,24 @@ class Engine
      */
     void setHostPool(ThreadPool *pool) { sharedPool_ = pool; }
 
+    /**
+     * Install a cooperative cancellation token (nullptr uninstalls).
+     * The explorer polls it at chunk boundaries and raises the typed
+     * sim::QueryCancelled from run().  A run that is never cancelled
+     * is bit-identical with or without a token installed.
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+
+    /**
+     * Charge one whole-query retry to this session (DESIGN.md §9):
+     * modeled backoff queryRetryBackoffNs * 2^(attempt-1) into
+     * startupNs, a QueryRetried trace event, and the RunStats
+     * queryRetries counter.  The QueryService calls this on the
+     * fresh engine of attempt k once per prior failed attempt, so
+     * the surviving stats carry the full retry history.
+     */
+    void chargeQueryRetry(unsigned attempt);
+
     /** Compute cores available to one execution unit. */
     unsigned computeCoresPerUnit() const;
 
@@ -348,6 +403,9 @@ class Engine
 
     /** Borrowed service pool (setHostPool); wins over pool_. */
     ThreadPool *sharedPool_ = nullptr;
+
+    /** Borrowed cancellation token (setCancelToken); host-side. */
+    const CancelToken *cancel_ = nullptr;
 };
 
 } // namespace core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cooperative query cancellation (DESIGN.md §9).
+ *
+ * A CancelToken is a host-side flag shared between a query's
+ * submitter (QueryService::cancel, or any owner of the token) and
+ * the engine running it.  The explorer polls the token only at
+ * chunk boundaries — the same consistent cuts where checkpoints and
+ * deadlines are evaluated — and raises sim::QueryCancelled, which
+ * the run's owner reports as a typed failure.
+ *
+ * Cancellation is deliberately outside the determinism contract:
+ * *when* a cancel lands depends on the host, so a cancelled run
+ * makes no claim about its partial stats.  What is guaranteed is
+ * that a run that was never cancelled is bit-identical whether or
+ * not a token was installed, because polling a false flag has no
+ * modeled effect.
+ */
+
+#ifndef KHUZDUL_CORE_PARALLEL_CANCEL_HH
+#define KHUZDUL_CORE_PARALLEL_CANCEL_HH
+
+#include <atomic>
+
+namespace khuzdul
+{
+namespace core
+{
+
+/** Shared one-way cancellation flag (set-once, never cleared). */
+class CancelToken
+{
+  public:
+    /** Request cancellation; safe from any thread. */
+    void
+    cancel()
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace core
+} // namespace khuzdul
+
+#endif // KHUZDUL_CORE_PARALLEL_CANCEL_HH

@@ -47,7 +47,9 @@ QueryService::submit(const ExtendPlan &plan,
         results_.emplace_back();
         results_.back().id = id;
         done_.push_back(false);
-        pending_.push_back(PendingQuery{id, plan, session, sink});
+        cancelTokens_.push_back(std::make_shared<CancelToken>());
+        pending_.push_back(PendingQuery{id, plan, session, sink,
+                                        cancelTokens_.back()});
     }
     workAvailable_.notify_one();
     return id;
@@ -100,6 +102,19 @@ QueryService::peakInFlight() const
 }
 
 void
+QueryService::cancel(std::size_t id)
+{
+    std::shared_ptr<CancelToken> token;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        KHUZDUL_REQUIRE(id < cancelTokens_.size(),
+                        "unknown query id");
+        token = cancelTokens_[id];
+    }
+    token->cancel();
+}
+
+void
 QueryService::dispatcherLoop()
 {
     while (true) {
@@ -130,25 +145,59 @@ QueryService::runOne(PendingQuery &&query,
     QueryResult result;
     result.id = query.id;
     result.admissionIndex = admission_index;
-    Engine engine(*context_, query.session);
-    engine.setHostPool(&pool_);
-    if (query.sink)
-        engine.setTraceSink(query.sink);
-    try {
-        result.count = engine.run(query.plan);
-    } catch (const std::exception &e) {
-        result.failed = true;
-        result.error = e.what();
+    // Bounded whole-query retry (DESIGN.md §9): a failed session is
+    // discarded and re-run as a fresh engine that carries the whole
+    // modeled retry history — one exponential backoff charge per
+    // prior failed attempt — so the surviving stats tell the full
+    // story.  Cancellations are a user decision and never retried;
+    // only the final attempt's ledger reaches the context.
+    const unsigned max_retries = query.session.maxQueryRetries;
+    unsigned attempt = 0;
+    for (;;) {
+        Engine engine(*context_, query.session);
+        engine.setHostPool(&pool_);
+        engine.setCancelToken(query.cancelToken.get());
+        if (query.sink)
+            engine.setTraceSink(query.sink);
+        for (unsigned k = 1; k <= attempt; ++k)
+            engine.chargeQueryRetry(k);
+        bool retry = false;
+        try {
+            result.count = engine.run(query.plan);
+            result.failed = false;
+            result.error.clear();
+        } catch (const sim::QueryCancelled &e) {
+            result.failed = true;
+            result.error = e.what();
+        } catch (const std::exception &e) {
+            result.failed = true;
+            if (attempt < max_retries) {
+                retry = true;
+            } else if (max_retries > 0) {
+                result.error = "retry budget exhausted after "
+                    + std::to_string(attempt + 1)
+                    + " attempts: " + e.what();
+            } else {
+                result.error = e.what();
+            }
+        }
+        if (retry) {
+            ++attempt;
+            continue;
+        }
+        result.retries = attempt;
+        result.stats = engine.stats();
+        result.modeledJson = engine.stats().toJson(false);
+        result.traceCounts.clear();
+        result.traceCounts.reserve(sim::kNumPhaseEvents);
+        for (std::size_t e = 0; e < sim::kNumPhaseEvents; ++e)
+            result.traceCounts.push_back(engine.traceCounts().count(
+                static_cast<sim::PhaseEvent>(e)));
+        // Fold the query's attributed ledger into the context's
+        // cumulative one (order-independent sums).
+        context_->absorbTraffic(engine.fabric());
+        break;
     }
-    result.stats = engine.stats();
-    result.modeledJson = engine.stats().toJson(false);
-    result.traceCounts.reserve(sim::kNumPhaseEvents);
-    for (std::size_t e = 0; e < sim::kNumPhaseEvents; ++e)
-        result.traceCounts.push_back(engine.traceCounts().count(
-            static_cast<sim::PhaseEvent>(e)));
-    // Fold the query's attributed ledger into the context's
-    // cumulative one (order-independent sums).
-    context_->absorbTraffic(engine.fabric());
 
     {
         std::lock_guard<std::mutex> lock(mutex_);

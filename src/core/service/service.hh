@@ -42,6 +42,7 @@
 
 #include "core/context.hh"
 #include "core/engine.hh"
+#include "core/parallel/cancel.hh"
 #include "core/parallel/thread_pool.hh"
 #include "pattern/plan.hh"
 #include "sim/stats.hh"
@@ -88,9 +89,17 @@ struct QueryResult
     std::size_t admissionIndex = 0;
 
     /** Set when the session threw (e.g. an injected fault
-     *  exhausted its retry budget); error holds the message. */
+     *  exhausted its retry budget, a modeled deadline elapsed, or
+     *  the query was cancelled); error holds the message — typed
+     *  failures keep their sim::DeadlineExceeded / QueryCancelled
+     *  wording, and an exhausted retry budget is reported as
+     *  "retry budget exhausted after N attempts: <last error>". */
     bool failed = false;
     std::string error;
+
+    /** Whole-query retries spent (<= SessionConfig::maxQueryRetries;
+     *  the surviving stats carry their modeled backoff). */
+    unsigned retries = 0;
 };
 
 /**
@@ -143,6 +152,15 @@ class QueryService
      *  admission-control observability). */
     unsigned peakInFlight() const;
 
+    /**
+     * Request cooperative cancellation of query @p id: a still-
+     * pending query fails at its first chunk boundary, a running
+     * one at its next, both with a typed sim::QueryCancelled error
+     * in the result.  No-op on completed queries; cancelled queries
+     * are never retried.
+     */
+    void cancel(std::size_t id);
+
   private:
     struct PendingQuery
     {
@@ -150,6 +168,7 @@ class QueryService
         ExtendPlan plan;
         SessionConfig session;
         sim::TraceSink *sink = nullptr;
+        std::shared_ptr<CancelToken> cancelToken;
     };
 
     void dispatcherLoop();
@@ -165,6 +184,7 @@ class QueryService
     std::deque<PendingQuery> pending_;      ///< FIFO beyond the bound
     std::vector<QueryResult> results_;
     std::vector<bool> done_;
+    std::vector<std::shared_ptr<CancelToken>> cancelTokens_;
     std::size_t submittedCount_ = 0;
     std::size_t completedCount_ = 0;
     std::size_t admittedCount_ = 0;

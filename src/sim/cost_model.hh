@@ -84,6 +84,21 @@ struct CostModel
     double retryBackoffNs = 1.0e5;
     /// @}
 
+    /** @name Crash recovery (DESIGN.md §9) */
+    /// @{
+    /** Per-unit snapshot charge at each level-0 barrier when
+     *  checkpointing is armed: serializing the partial counts and
+     *  the pending-chunk ledger into node-local stable storage. */
+    double checkpointNs = 8000.0;
+    /** Fixed handshake per adopted chunk: the survivor claims the
+     *  orphan from the dead unit's last checkpoint, on top of the
+     *  fabric transfer of the embedding columns. */
+    double adoptionHandshakeNs = 4000.0;
+    /** Base whole-query retry backoff charged by the service;
+     *  attempt k waits 2^(k-1) times this. */
+    double queryRetryBackoffNs = 2.0e5;
+    /// @}
+
     /** @name Work stealing (DESIGN.md §11) */
     /// @{
     /** Fixed handshake per stolen chunk: steal request, grant and

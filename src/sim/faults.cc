@@ -49,6 +49,12 @@ parseLink(const std::string &token, const std::string &spec,
                                    << "' needs a SRC-DST link selector");
     out.src = parseEndpoint(token.substr(0, dash), spec);
     out.dst = parseEndpoint(token.substr(dash + 1), spec);
+    KHUZDUL_REQUIRE(out.src == kAnyNode || out.src != out.dst,
+                    "fault spec '"
+                        << spec << "': self-link " << out.src << "-"
+                        << out.dst
+                        << " can never fire (local accesses bypass "
+                           "the fabric)");
 }
 
 double
@@ -81,6 +87,28 @@ applyField(const std::string &key, const std::string &value,
     if (key == "count") {
         out.count = static_cast<std::uint64_t>(
             parseNumber(value, spec));
+        KHUZDUL_REQUIRE(out.count >= 1,
+                        "fault spec '"
+                            << spec
+                            << "': count=0 would never fire; use "
+                               "count>=1 or drop the spec");
+        return true;
+    }
+    if (key == "level") {
+        const double level = parseNumber(value, spec);
+        KHUZDUL_REQUIRE(level >= 0, "fault spec '"
+                                        << spec
+                                        << "': level must be >= 0");
+        out.level = static_cast<int>(level);
+        return true;
+    }
+    if (key == "chunk") {
+        out.chunk = static_cast<std::uint64_t>(
+            parseNumber(value, spec));
+        KHUZDUL_REQUIRE(out.chunk >= 1,
+                        "fault spec '" << spec
+                                       << "': chunk ordinals are "
+                                          "1-based");
         return true;
     }
     if (key == "factor") {
@@ -130,6 +158,8 @@ faultKindName(FaultKind kind)
         return "degrade";
       case FaultKind::NodeDown:
         return "down";
+      case FaultKind::Crash:
+        return "crash";
     }
     KHUZDUL_PANIC("unreachable fault kind");
 }
@@ -158,12 +188,25 @@ FaultPlan::add(const std::string &spec)
         KHUZDUL_REQUIRE(parts.size() >= 2,
                         "fault spec '" << spec << "' needs "
                         "down:node=D[:from=NS][:until=NS]");
+    } else if (kind == "crash") {
+        f.kind = FaultKind::Crash;
+        KHUZDUL_REQUIRE(parts.size() >= 3,
+                        "fault spec '" << spec << "' needs "
+                        "crash:UNIT:level=L[:chunk=K]");
+        const std::string &unit = parts[next++];
+        KHUZDUL_REQUIRE(!unit.empty()
+                            && unit.find_first_not_of("0123456789")
+                                == std::string::npos,
+                        "bad crash unit '" << unit << "' in '" << spec
+                                           << "' (unit index)");
+        f.unit = static_cast<unsigned>(std::stoul(unit));
     } else {
         KHUZDUL_FATAL("unknown fault kind '" << kind << "' in '"
                       << spec
-                      << "' (drop | timeout | degrade | down)");
+                      << "' (drop | timeout | degrade | down | crash)");
     }
     bool saw_msg = false;
+    bool saw_level = false;
     for (; next < parts.size(); ++next) {
         const std::string &field = parts[next];
         const std::size_t eq = field.find('=');
@@ -176,6 +219,7 @@ FaultPlan::add(const std::string &spec)
             "fault spec '" << spec << "': unknown field '" << key
                            << "'");
         saw_msg = saw_msg || key == "msg";
+        saw_level = saw_level || key == "level";
     }
     if (f.kind == FaultKind::Drop || f.kind == FaultKind::Timeout)
         KHUZDUL_REQUIRE(saw_msg, "fault spec '" << spec
@@ -186,7 +230,49 @@ FaultPlan::add(const std::string &spec)
     if (f.kind == FaultKind::NodeDown)
         KHUZDUL_REQUIRE(f.node != kAnyNode, "fault spec '" << spec
                         << "' needs node=D");
+    if (f.kind == FaultKind::Crash)
+        KHUZDUL_REQUIRE(saw_level, "fault spec '" << spec
+                        << "' needs a level=L trigger");
     specs_.push_back(f);
+}
+
+void
+FaultPlan::validate(NodeId num_nodes, unsigned num_units) const
+{
+    for (const FaultSpec &f : specs_) {
+        const char *name = faultKindName(f.kind);
+        if (f.kind == FaultKind::Crash) {
+            KHUZDUL_REQUIRE(f.unit < num_units,
+                            "fault plan: crash unit "
+                                << f.unit << " out of range (run has "
+                                << num_units << " execution units)");
+            continue;
+        }
+        if (f.kind == FaultKind::NodeDown) {
+            KHUZDUL_REQUIRE(f.node < num_nodes,
+                            "fault plan: down node "
+                                << f.node << " out of range (cluster "
+                                "has " << num_nodes << " nodes)");
+            continue;
+        }
+        KHUZDUL_REQUIRE(f.src == kAnyNode || f.src < num_nodes,
+                        "fault plan: " << name << " src node "
+                            << f.src << " out of range (cluster has "
+                            << num_nodes << " nodes)");
+        KHUZDUL_REQUIRE(f.dst == kAnyNode || f.dst < num_nodes,
+                        "fault plan: " << name << " dst node "
+                            << f.dst << " out of range (cluster has "
+                            << num_nodes << " nodes)");
+    }
+}
+
+bool
+FaultPlan::hasCrash() const
+{
+    for (const FaultSpec &f : specs_)
+        if (f.kind == FaultKind::Crash)
+            return true;
+    return false;
 }
 
 FaultSession::FaultSession(const FaultPlan &plan, NodeId num_nodes)

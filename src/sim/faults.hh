@@ -56,6 +56,24 @@ class ByteCapExceededFault : public FabricFault
     {}
 };
 
+/** A query's modeled deadline elapsed before it finished. */
+class DeadlineExceeded : public FabricFault
+{
+  public:
+    explicit DeadlineExceeded(const std::string &what)
+        : FabricFault(what)
+    {}
+};
+
+/** A query was cooperatively cancelled at a level barrier. */
+class QueryCancelled : public FabricFault
+{
+  public:
+    explicit QueryCancelled(const std::string &what)
+        : FabricFault(what)
+    {}
+};
+
 /** The injectable failure modes. */
 enum class FaultKind : std::uint8_t
 {
@@ -63,6 +81,7 @@ enum class FaultKind : std::uint8_t
     Timeout,  ///< no reply; requester charged the timeout cost
     Degrade,  ///< link serves, but at a cost multiplier (epoch)
     NodeDown, ///< node unreachable over a window (or forever)
+    Crash,    ///< execution unit dies at a chunk ordinal of a level
 };
 
 const char *faultKindName(FaultKind kind);
@@ -93,6 +112,9 @@ struct FaultSpec
     double factor = 1.0;        ///< Degrade cost multiplier
     double fromNs = 0;          ///< window start (modeled ns)
     double untilNs = kForeverNs; ///< window end, kForeverNs = open
+    unsigned unit = 0;          ///< Crash: execution unit that dies
+    int level = 0;              ///< Crash: level of the fatal chunk
+    std::uint64_t chunk = 1;    ///< Crash: 1-based chunk ordinal
 };
 
 /**
@@ -106,6 +128,13 @@ struct FaultSpec
  *   timeout:SRC-DST:msg=N[:count=K]
  *   degrade:SRC-DST:factor=F[:from=NS][:until=NS]
  *   down:node=D[:from=NS][:until=NS]     (no until -> permanent)
+ *   crash:UNIT:level=L[:chunk=K]         (K-th chunk of level L)
+ *
+ * Parse-time hardening: count=0 (a vacuously-inert spec) and
+ * self-links (SRC-DST with both endpoints concrete and equal — a
+ * node never faults its own local accesses) are rejected with clear
+ * messages; id *ranges* depend on the deployment, so validate()
+ * checks them once the cluster geometry is known.
  */
 class FaultPlan
 {
@@ -122,6 +151,14 @@ class FaultPlan
     const std::vector<FaultSpec> &specs() const { return specs_; }
 
     bool empty() const { return specs_.empty(); }
+
+    /** Check every endpoint / node / unit id against the deployment
+     *  geometry; throws FatalError naming the offending spec.  The
+     *  engine calls this at construction. */
+    void validate(NodeId num_nodes, unsigned num_units) const;
+
+    /** True if any spec is a unit crash (arms checkpointing). */
+    bool hasCrash() const;
 
     /** Retry attempts after the first failure of a batch. */
     unsigned maxRetries = 3;

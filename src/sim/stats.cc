@@ -154,6 +154,51 @@ RunStats::totalStealOverheadNs() const
     return total;
 }
 
+std::uint64_t
+RunStats::totalCheckpoints() const
+{
+    std::uint64_t total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.checkpointsTaken;
+    return total;
+}
+
+std::uint64_t
+RunStats::totalUnitCrashes() const
+{
+    std::uint64_t total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.unitCrashes;
+    return total;
+}
+
+std::uint64_t
+RunStats::totalChunksAdopted() const
+{
+    std::uint64_t total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.chunksAdopted;
+    return total;
+}
+
+double
+RunStats::totalCheckpointOverheadNs() const
+{
+    double total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.checkpointOverheadNs;
+    return total;
+}
+
+double
+RunStats::totalAdoptionNs() const
+{
+    double total = 0;
+    for (const NodeStats &node : nodes)
+        total += node.adoptionNs;
+    return total;
+}
+
 double
 RunStats::staticCacheHitRate() const
 {
@@ -216,6 +261,14 @@ RunStats::accumulate(const RunStats &other)
         dst.stealBytesIn += src.stealBytesIn;
         dst.stealBytesOut += src.stealBytesOut;
         dst.stealOverheadNs += src.stealOverheadNs;
+        dst.checkpointsTaken += src.checkpointsTaken;
+        dst.unitCrashes += src.unitCrashes;
+        dst.chunksAdopted += src.chunksAdopted;
+        dst.chunksOrphaned += src.chunksOrphaned;
+        dst.adoptionBytesIn += src.adoptionBytesIn;
+        dst.adoptionBytesOut += src.adoptionBytesOut;
+        dst.checkpointOverheadNs += src.checkpointOverheadNs;
+        dst.adoptionNs += src.adoptionNs;
         dst.staticCacheHits += src.staticCacheHits;
         dst.staticCacheMisses += src.staticCacheMisses;
         dst.staticCacheInsertions += src.staticCacheInsertions;
@@ -231,6 +284,7 @@ RunStats::accumulate(const RunStats &other)
             dst.kernelCalls[k] += src.kernelCalls[k];
     }
     startupNs += other.startupNs;
+    queryRetries += other.queryRetries;
     hostThreads = std::max(hostThreads, other.hostThreads);
     hostWallNs += other.hostWallNs;
     sharedCacheProbes += other.sharedCacheProbes;
@@ -297,6 +351,20 @@ RunStats::toJson(bool include_host) const
        << ", \"donated\": " << chunks_donated
        << ", \"bytes\": " << totalStealBytes()
        << ", \"overhead_ns\": " << totalStealOverheadNs() << "},\n";
+    std::uint64_t chunks_orphaned = 0;
+    std::uint64_t adoption_bytes = 0;
+    for (const NodeStats &node : nodes) {
+        chunks_orphaned += node.chunksOrphaned;
+        adoption_bytes += node.adoptionBytesIn;
+    }
+    os << "  \"recovery\": {\"checkpoints\": " << totalCheckpoints()
+       << ", \"crashes\": " << totalUnitCrashes()
+       << ", \"adopted\": " << totalChunksAdopted()
+       << ", \"orphaned\": " << chunks_orphaned
+       << ", \"adoption_bytes\": " << adoption_bytes
+       << ", \"checkpoint_ns\": " << totalCheckpointOverheadNs()
+       << ", \"adoption_ns\": " << totalAdoptionNs()
+       << ", \"query_retries\": " << queryRetries << "},\n";
     if (include_host && hostThreads > 0) {
         os << "  \"host\": {\"threads\": " << hostThreads
            << ", \"wall_ns\": " << hostWallNs;
@@ -341,7 +409,15 @@ RunStats::toJson(bool include_host) const
            << ", \"chunks_donated\": " << n.chunksDonated
            << ", \"steal_bytes_in\": " << n.stealBytesIn
            << ", \"steal_bytes_out\": " << n.stealBytesOut
-           << ", \"steal_overhead_ns\": " << n.stealOverheadNs;
+           << ", \"steal_overhead_ns\": " << n.stealOverheadNs
+           << ", \"checkpoints\": " << n.checkpointsTaken
+           << ", \"unit_crashes\": " << n.unitCrashes
+           << ", \"chunks_adopted\": " << n.chunksAdopted
+           << ", \"chunks_orphaned\": " << n.chunksOrphaned
+           << ", \"adoption_bytes_in\": " << n.adoptionBytesIn
+           << ", \"adoption_bytes_out\": " << n.adoptionBytesOut
+           << ", \"checkpoint_ns\": " << n.checkpointOverheadNs
+           << ", \"adoption_ns\": " << n.adoptionNs;
         if (include_host) {
             os << ", \"kernel_calls\": [";
             for (std::size_t k = 0; k < n.kernelCalls.size(); ++k)
@@ -384,6 +460,12 @@ RunStats::summary() const
            << " moved, overhead "
            << formatTime(static_cast<std::uint64_t>(
                 totalStealOverheadNs())) << "\n";
+    if (totalUnitCrashes() > 0)
+        os << "crashes " << formatCount(totalUnitCrashes())
+           << " units, " << formatCount(totalChunksAdopted())
+           << " chunks adopted, overhead "
+           << formatTime(static_cast<std::uint64_t>(
+                totalAdoptionNs())) << "\n";
     return os.str();
 }
 

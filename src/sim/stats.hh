@@ -84,6 +84,24 @@ struct NodeStats
     double stealOverheadNs = 0;      ///< modeled steal overhead
     /// @}
 
+    /** @name Crash recovery (DESIGN.md §9)
+     *
+     * checkpointOverheadNs and adoptionNs are attribution overlays
+     * like recoveryNs/stealOverheadNs: the modeled snapshot and
+     * adoption time is already folded into the scheduler/comm
+     * categories above, so it never contributes to totalNs() again.
+     */
+    /// @{
+    std::uint64_t checkpointsTaken = 0; ///< level-barrier snapshots
+    std::uint64_t unitCrashes = 0;      ///< injected crashes on this node
+    std::uint64_t chunksAdopted = 0;    ///< dead peers' chunks run here
+    std::uint64_t chunksOrphaned = 0;   ///< own chunks lost to a crash
+    std::uint64_t adoptionBytesIn = 0;  ///< column bytes received
+    std::uint64_t adoptionBytesOut = 0; ///< column bytes shipped
+    double checkpointOverheadNs = 0;    ///< modeled snapshot time
+    double adoptionNs = 0;              ///< modeled adoption overhead
+    /// @}
+
     /** @name Work counters */
     /// @{
     std::uint64_t embeddingsCreated = 0;
@@ -120,6 +138,10 @@ struct RunStats
 
     /** Modeled startup charged once (engine/plan installation). */
     double startupNs = 0;
+
+    /** Whole-query retries the service charged to this run's
+     *  session (modeled backoff lands in startupNs). */
+    std::uint64_t queryRetries = 0;
 
     /** @name Host-side execution observability (not modeled)
      *
@@ -167,6 +189,11 @@ struct RunStats
     std::uint64_t totalChunksStolen() const;
     std::uint64_t totalStealBytes() const;
     double totalStealOverheadNs() const;
+    std::uint64_t totalCheckpoints() const;
+    std::uint64_t totalUnitCrashes() const;
+    std::uint64_t totalChunksAdopted() const;
+    double totalCheckpointOverheadNs() const;
+    double totalAdoptionNs() const;
 
     /** Static-cache hit rate over all nodes (0 when unused). */
     double staticCacheHitRate() const;

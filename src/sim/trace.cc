@@ -43,6 +43,14 @@ phaseEventName(PhaseEvent event)
         return "steal_issued";
       case PhaseEvent::StealCompleted:
         return "steal_completed";
+      case PhaseEvent::Checkpoint:
+        return "checkpoint";
+      case PhaseEvent::UnitCrashed:
+        return "unit_crashed";
+      case PhaseEvent::ChunkAdopted:
+        return "chunk_adopted";
+      case PhaseEvent::QueryRetried:
+        return "query_retried";
     }
     KHUZDUL_PANIC("unreachable phase event");
 }

@@ -44,9 +44,13 @@ enum class PhaseEvent : std::uint8_t
     ChunkReplayed,       ///< chunk re-enqueued after retry exhaustion
     StealIssued,         ///< idle unit requested a peer's pending chunk
     StealCompleted,      ///< stolen chunk's columns arrived at the thief
+    Checkpoint,          ///< unit snapshotted state at a level barrier
+    UnitCrashed,         ///< execution unit died (injected crash fault)
+    ChunkAdopted,        ///< survivor adopted a dead unit's chunk
+    QueryRetried,        ///< failed query re-admitted by the service
 };
 
-inline constexpr std::size_t kNumPhaseEvents = 15;
+inline constexpr std::size_t kNumPhaseEvents = 19;
 
 /** Stable lowercase name (used by the JSON sink and tests). */
 const char *phaseEventName(PhaseEvent event);

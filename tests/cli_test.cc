@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -54,8 +55,10 @@ TEST(Cli, HelpTopicPrintsUsage)
 
 TEST(Cli, UnknownSubcommandFails)
 {
+    // Exit 1, like every other bad invocation: exit 2 is reserved
+    // for unrecoverable modeled faults (see ExitCodeTwo... below).
     const auto [code, out] = runCli("frobnicate");
-    EXPECT_EQ(code, 2);
+    EXPECT_EQ(code, 1);
     EXPECT_NE(out.find("unknown subcommand"), std::string::npos);
 }
 
@@ -429,6 +432,114 @@ TEST(Cli, StolenStatsAreThreadCountInvariant)
         EXPECT_EQ(code, 0) << flag;
         EXPECT_EQ(modeled(out), modeled(reference.second)) << flag;
     }
+}
+
+TEST(Cli, CrashFaultKeepsCountAndReportsRecoveryBlock)
+{
+    const std::string path = testing::TempDir() + "/cli_crash.json";
+    const std::string base =
+        "count --graph er:500:2000:3 --pattern triangle --nodes 4 "
+        "--chunk-bytes 65536 ";
+    const auto healthy = runCli(base);
+    ASSERT_EQ(healthy.first, 0);
+    const auto [code, out] =
+        runCli(base + "--fault crash:1:level=1:chunk=1 --stats-json "
+               + path);
+    EXPECT_EQ(code, 0);
+    // First line carries the count; a crash re-attributes modeled
+    // time, it never loses work.
+    EXPECT_EQ(out.substr(0, out.find('\n')),
+              healthy.second.substr(0, healthy.second.find('\n')));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string json = content.str();
+    EXPECT_NE(json.find("\"recovery\": {\"checkpoints\": "),
+              std::string::npos);
+    EXPECT_NE(json.find("\"crashes\": 1"), std::string::npos);
+    EXPECT_EQ(json.find("\"adopted\": 0,"), std::string::npos);
+    std::remove(path.c_str());
+
+    // Out-of-range unit and malformed crash specs fail loudly.
+    EXPECT_EQ(runCli(base + "--fault crash:99:level=0").first, 1);
+    EXPECT_EQ(runCli(base + "--fault crash:1").first, 1);
+}
+
+TEST(Cli, ExitCodeTwoForUnrecoverableModeledFault)
+{
+    // A plan with no recovery path (every retry of every batch is
+    // dropped) must surface as one clean error line and the
+    // documented exit code 2 — never an abort or a zero exit.
+    const auto [code, out] =
+        runCli("count --graph er:500:2000:3 --pattern triangle "
+               "--nodes 4 --fault 'drop:*-*:msg=1:count=100000' "
+               "--fault-retries 0");
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(out.find("unrecoverable modeled fault:"),
+              std::string::npos);
+    // One line, no stack trace / assertion spew.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+
+    // A crash plan that kills every unit is equally unrecoverable.
+    const auto all_dead =
+        runCli("serve --graph er:200:800:3 --nodes 1 --sockets 1 "
+               "--query triangle --fault crash:0:level=0");
+    EXPECT_EQ(all_dead.first, 1); // serve reports it per-query
+    EXPECT_NE(all_dead.second.find("FAILED"), std::string::npos);
+}
+
+TEST(Cli, ServeExitsNonzeroWhenAnyQueryFails)
+{
+    // One healthy query + one that exceeds a tiny modeled deadline:
+    // the run prints both rows but must not exit 0.
+    const auto [code, out] =
+        runCli("serve --graph er:500:2000:3 --nodes 2 "
+               "--query triangle --query clique4 --deadline 10");
+    EXPECT_EQ(code, 1);
+    EXPECT_NE(out.find("FAILED"), std::string::npos);
+    EXPECT_NE(out.find("deadline"), std::string::npos);
+    EXPECT_NE(out.find("queries failed"), std::string::npos);
+
+    // All-healthy serve keeps exiting 0 (regression guard for the
+    // new failure accounting).
+    const auto ok =
+        runCli("serve --graph er:500:2000:3 --nodes 2 "
+               "--query triangle");
+    EXPECT_EQ(ok.first, 0);
+}
+
+TEST(Cli, ServeRetriesAreBoundedAndReported)
+{
+    // Deterministic failures fail every attempt: the retry budget
+    // is spent and the final error says so.
+    const auto [code, out] =
+        runCli("serve --graph er:500:2000:3 --nodes 2 "
+               "--query triangle --deadline 10 --query-retries 2");
+    EXPECT_EQ(code, 1);
+    EXPECT_NE(out.find("retry budget exhausted after 3 attempts"),
+              std::string::npos);
+}
+
+TEST(Cli, HelpDocumentsRecoveryFlagsEverywhere)
+{
+    for (const std::string topic :
+         {"help count", "help motifs", "help fsm"}) {
+        const auto [code, out] = runCli(topic);
+        EXPECT_EQ(code, 0) << topic;
+        EXPECT_NE(out.find("crash:UNIT:level=L"), std::string::npos)
+            << topic;
+        EXPECT_NE(out.find("--checkpoint"), std::string::npos)
+            << topic;
+        EXPECT_NE(out.find("--deadline"), std::string::npos) << topic;
+    }
+    const auto count = runCli("help count");
+    EXPECT_NE(count.second.find("exit codes"), std::string::npos);
+    const auto serve = runCli("help serve");
+    EXPECT_EQ(serve.first, 0);
+    EXPECT_NE(serve.second.find("--query-retries"),
+              std::string::npos);
+    EXPECT_NE(serve.second.find("--deadline"), std::string::npos);
 }
 
 TEST(Cli, BadInputsReportErrors)

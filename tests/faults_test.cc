@@ -79,6 +79,30 @@ TEST(FaultPlan, ParsesEveryKind)
     EXPECT_DOUBLE_EQ(down.untilNs, sim::kForeverNs);
 }
 
+TEST(FaultPlan, ParsesCrashSpecs)
+{
+    sim::FaultPlan plan;
+    plan.add("crash:5:level=2:chunk=3");
+    plan.add("crash:0:level=0");
+    ASSERT_EQ(plan.specs().size(), 2u);
+    EXPECT_TRUE(plan.hasCrash());
+
+    const auto &full = plan.specs()[0];
+    EXPECT_EQ(full.kind, sim::FaultKind::Crash);
+    EXPECT_EQ(full.unit, 5u);
+    EXPECT_EQ(full.level, 2);
+    EXPECT_EQ(full.chunk, 3u);
+
+    const auto &defaulted = plan.specs()[1];
+    EXPECT_EQ(defaulted.unit, 0u);
+    EXPECT_EQ(defaulted.level, 0);
+    EXPECT_EQ(defaulted.chunk, 1u); // chunk defaults to the first
+
+    sim::FaultPlan no_crash;
+    no_crash.add("drop:0-1:msg=1");
+    EXPECT_FALSE(no_crash.hasCrash());
+}
+
 TEST(FaultPlan, RejectsMalformedSpecs)
 {
     const char *bad[] = {
@@ -92,11 +116,56 @@ TEST(FaultPlan, RejectsMalformedSpecs)
         "degrade:0-1",               // missing factor
         "down:from=10",              // missing node
         "drop:0-1:msg=1:bogus=3",    // unknown field
+        "crash:3",                   // missing level
+        "crash:level=1",             // missing unit
+        "crash:3:level=1:chunk=0",   // chunk ordinals are 1-based
     };
     for (const char *spec : bad) {
         sim::FaultPlan plan;
         EXPECT_THROW(plan.add(spec), FatalError) << spec;
     }
+}
+
+TEST(FaultPlan, RejectsZeroCount)
+{
+    // count=0 would parse as a spec that can never fire; reject it
+    // loudly instead of silently running fault-free.
+    sim::FaultPlan plan;
+    EXPECT_THROW(plan.add("drop:0-1:msg=1:count=0"), FatalError);
+    EXPECT_THROW(plan.add("timeout:*-*:msg=2:count=0"), FatalError);
+}
+
+TEST(FaultPlan, RejectsSelfLinks)
+{
+    // Local accesses bypass the fabric, so a 2-2 link spec can
+    // never match a transfer.
+    sim::FaultPlan plan;
+    EXPECT_THROW(plan.add("drop:2-2:msg=1"), FatalError);
+    EXPECT_THROW(plan.add("timeout:0-0:msg=1"), FatalError);
+    // Wildcards may still cover loop-free pairs.
+    plan.add("drop:*-2:msg=1");
+    plan.add("drop:2-*:msg=1");
+    EXPECT_EQ(plan.specs().size(), 2u);
+}
+
+TEST(FaultPlan, ValidateRejectsOutOfRangeIds)
+{
+    const auto reject = [](const char *spec) {
+        sim::FaultPlan plan;
+        plan.add(spec);
+        EXPECT_THROW(plan.validate(4, 8), FatalError) << spec;
+    };
+    reject("crash:8:level=0");          // units are 0..7
+    reject("down:node=4:from=0");       // nodes are 0..3
+    reject("drop:4-1:msg=1");           // src out of range
+    reject("timeout:1-9:msg=1");        // dst out of range
+
+    // In-range ids (and wildcards) pass.
+    sim::FaultPlan plan;
+    plan.add("crash:7:level=1");
+    plan.add("down:node=3:from=0");
+    plan.add("drop:*-3:msg=1");
+    plan.validate(4, 8);
 }
 
 // ----------------------------------------------------------------
@@ -312,6 +381,138 @@ TEST(FaultRecovery, ResetStatsRestartsTheFaultSessions)
     engine.resetStats();
     engine.run(plan);
     EXPECT_EQ(engine.stats().toJson(false), first);
+}
+
+// ----------------------------------------------------------------
+// Crash recovery (DESIGN.md §9): checkpoints, adoption, resilience.
+// ----------------------------------------------------------------
+
+TEST(CrashRecovery, CountsExactAndAdoptionObservable)
+{
+    const Graph g = testGraph();
+    const auto plan = compileAutomine(Pattern::triangle(), {});
+    const Count expected =
+        brute::countEmbeddings(g, Pattern::triangle(), false);
+    auto config = faultConfig();
+    config.faults.add("crash:1:level=1:chunk=1");
+    core::Engine engine(g, config);
+    EXPECT_EQ(engine.run(plan), expected);
+
+    const auto &stats = engine.stats();
+    EXPECT_EQ(stats.totalUnitCrashes(), 1u);
+    EXPECT_GT(stats.totalCheckpoints(), 0u);
+    EXPECT_GT(stats.totalChunksAdopted(), 0u);
+    EXPECT_GT(stats.totalCheckpointOverheadNs(), 0.0);
+    EXPECT_GT(stats.totalAdoptionNs(), 0.0);
+    // The dead unit keeps nothing past its snapshot; survivors pay
+    // for what they adopted, so the run costs more than healthy.
+    core::Engine healthy(g, faultConfig());
+    healthy.run(plan);
+    EXPECT_GT(stats.makespanNs(), healthy.stats().makespanNs());
+    // Trace tallies mirror the stats ledger exactly.
+    const auto &trace = engine.traceCounts();
+    EXPECT_EQ(trace.count(sim::PhaseEvent::UnitCrashed), 1u);
+    EXPECT_EQ(trace.count(sim::PhaseEvent::ChunkAdopted),
+              stats.totalChunksAdopted());
+    EXPECT_EQ(trace.count(sim::PhaseEvent::Checkpoint),
+              stats.totalCheckpoints());
+    // And the JSON block reports the same story.
+    const std::string json = engine.stats().toJson(false);
+    EXPECT_NE(json.find("\"recovery\": {\"checkpoints\": "),
+              std::string::npos);
+    EXPECT_EQ(json.find("\"crashes\": 0"), std::string::npos);
+}
+
+TEST(CrashRecovery, CrashWithStealStaysExact)
+{
+    const Graph g = testGraph();
+    const auto plan = compileAutomine(Pattern::clique(4), {});
+    const Count expected =
+        brute::countEmbeddings(g, Pattern::clique(4), false);
+    auto config = faultConfig();
+    config.faults.add("crash:2:level=1:chunk=1");
+    config.stealEnabled = true;
+    config.stealBacklogThresholdNs = 2.0e3;
+    core::Engine engine(g, config);
+    EXPECT_EQ(engine.run(plan), expected);
+    EXPECT_EQ(engine.stats().totalUnitCrashes(), 1u);
+}
+
+TEST(CrashRecovery, ResetStatsRestartsCrashState)
+{
+    const Graph g = testGraph();
+    const auto plan = compileAutomine(Pattern::triangle(), {});
+    auto config = faultConfig();
+    config.cachePolicy = core::CachePolicy::None;
+    config.faults.add("crash:0:level=0:chunk=1");
+    core::Engine engine(g, config);
+    engine.run(plan);
+    const std::string first = engine.stats().toJson(false);
+    engine.resetStats();
+    engine.run(plan);
+    EXPECT_EQ(engine.stats().toJson(false), first);
+}
+
+TEST(CrashRecovery, NoSurvivorsIsAHardFault)
+{
+    // Every unit of a 1-node cluster crashes at its first chunk:
+    // nobody is left to adopt, which is unrecoverable by design.
+    const Graph g = testGraph();
+    auto config = faultConfig(1);
+    const unsigned units = config.cluster.socketsPerNode;
+    for (unsigned u = 0; u < units; ++u)
+        config.faults.add("crash:" + std::to_string(u)
+                          + ":level=0:chunk=1");
+    core::Engine engine(g, config);
+    EXPECT_THROW(engine.run(compileAutomine(Pattern::triangle(), {})),
+                 sim::FabricFault);
+}
+
+TEST(CrashRecovery, OutOfRangeCrashUnitRejectedAtConstruction)
+{
+    const Graph g = testGraph();
+    auto config = faultConfig(); // 4 nodes x 2 sockets = 8 units
+    config.faults.add("crash:8:level=0");
+    EXPECT_THROW(core::Engine(g, config), FatalError);
+}
+
+TEST(CrashRecovery, CheckpointsChargeOnlyWhenArmed)
+{
+    const Graph g = testGraph();
+    const auto plan = compileAutomine(Pattern::triangle(), {});
+    core::Engine off(g, faultConfig());
+    const Count expected = off.run(plan);
+    const double off_makespan = off.stats().makespanNs();
+    EXPECT_EQ(off.stats().totalCheckpoints(), 0u);
+    EXPECT_DOUBLE_EQ(off.stats().totalCheckpointOverheadNs(), 0.0);
+
+    auto config = faultConfig();
+    config.checkpointEnabled = true;
+    core::Engine on(g, config);
+    EXPECT_EQ(on.run(plan), expected);
+    EXPECT_GT(on.stats().totalCheckpoints(), 0u);
+    EXPECT_GT(on.stats().totalCheckpointOverheadNs(), 0.0);
+    EXPECT_GT(on.stats().makespanNs(), off_makespan);
+}
+
+TEST(CrashRecovery, DeadlineThrowsTypedError)
+{
+    const Graph g = testGraph();
+    auto config = faultConfig();
+    config.deadlineNs = 1.0; // far below any real modeled run
+    core::Engine engine(g, config);
+    EXPECT_THROW(engine.run(compileAutomine(Pattern::triangle(), {})),
+                 sim::DeadlineExceeded);
+
+    // A generous deadline never fires and never perturbs the run.
+    auto relaxed = faultConfig();
+    relaxed.deadlineNs = 1.0e18;
+    core::Engine slack(g, relaxed);
+    core::Engine plain(g, faultConfig());
+    const auto plan = compileAutomine(Pattern::triangle(), {});
+    EXPECT_EQ(slack.run(plan), plain.run(plan));
+    EXPECT_EQ(slack.stats().toJson(false),
+              plain.stats().toJson(false));
 }
 
 TEST(FaultRecovery, FaultsBlockAppearsInJson)

@@ -388,13 +388,16 @@ INSTANTIATE_TEST_SUITE_P(Threads, HostThreadSweep,
                          testing::Values(1u, 2u, 4u, 0u));
 
 /**
- * Fault plans x host threads: injected faults and the recovery
- * ladder must preserve exact counts, and for a fixed plan the whole
- * modeled result must stay byte-identical at every thread count
- * (DESIGN.md §9) — fault triggers read only per-unit ledger state,
- * never host conditions.
+ * Fault plans x steal x host threads: injected faults and the
+ * recovery ladder must preserve exact counts, and for a fixed plan
+ * the whole modeled result must stay byte-identical at every thread
+ * count (DESIGN.md §9) — fault triggers read only per-unit ledger
+ * state, never host conditions.  The steal axis crosses every plan
+ * (degrade and down included) with the post-barrier steal pass: the
+ * planner prices backlogs that the faults themselves created, and
+ * the determinism contract must hold through that interaction too.
  */
-using FaultAxis = std::tuple<const char *, unsigned>;
+using FaultAxis = std::tuple<const char *, bool, unsigned>;
 
 class FaultSweep : public testing::TestWithParam<FaultAxis>
 {
@@ -402,12 +405,14 @@ class FaultSweep : public testing::TestWithParam<FaultAxis>
 
 TEST_P(FaultSweep, FaultedRunsKeepCountsAndThreadInvariance)
 {
-    const auto [spec, threads] = GetParam();
+    const auto [spec, steal, threads] = GetParam();
     const Graph &g = sweepGraph();
     core::EngineConfig config;
     config.cluster = sim::ClusterConfig::paperDefault(4);
     config.chunkBytes = 16 << 10;
     config.cacheDegreeThreshold = 8;
+    config.stealEnabled = steal;
+    config.stealBacklogThresholdNs = 2.0e3;
     config.faults.add(spec);
 
     core::EngineConfig reference_config = config;
@@ -459,6 +464,7 @@ INSTANTIATE_TEST_SUITE_P(
                         "degrade:*-*:factor=5:from=0",
                         "down:node=3:from=0",
                         "drop:*-*:msg=1:count=4"),
+        testing::Bool(),
         testing::Values(1u, 2u, 4u, 8u)));
 
 /**
@@ -562,6 +568,104 @@ INSTANTIATE_TEST_SUITE_P(
         testing::Values("",
                         "degrade:3-*:factor=5:from=0",
                         "drop:*-*:msg=1:count=4"),
+        testing::Values(1u, 2u, 4u, 8u)));
+
+/**
+ * Crash plans x steal x host threads (DESIGN.md §9): killing an
+ * execution unit at a modeled chunk boundary and adopting its
+ * orphaned chunks onto survivors must preserve exact counts, and
+ * the full modeled result — the stats dump with its recovery
+ * block, the fabric ledger (adoption transfers are priced through
+ * it), the Checkpoint/UnitCrashed/ChunkAdopted trace tallies —
+ * must stay byte-identical at every host thread count, with and
+ * without the steal pass in the same run.  The crash trigger reads
+ * only the unit's own chunk ordinals, so WHERE the unit dies is as
+ * deterministic as everything else.
+ */
+using CrashAxis = std::tuple<const char *, bool, unsigned>;
+
+class CrashSweep : public testing::TestWithParam<CrashAxis>
+{
+};
+
+TEST_P(CrashSweep, CrashedRunsKeepCountsAndThreadInvariance)
+{
+    const auto [spec, steal, threads] = GetParam();
+    const Graph &g = sweepGraph();
+    core::EngineConfig config;
+    config.cluster = sim::ClusterConfig::paperDefault(4);
+    config.chunkBytes = 4 << 10;
+    config.cacheDegreeThreshold = 8;
+    config.stealEnabled = steal;
+    config.stealBacklogThresholdNs = 2.0e3;
+    config.faults.add(spec);
+
+    core::EngineConfig reference_config = config;
+    reference_config.hostThreads = 1;
+    config.hostThreads = threads;
+
+    core::Engine reference(g, reference_config);
+    core::Engine engine(g, config);
+    for (const Pattern &p :
+         {Pattern::triangle(), Pattern::clique(4),
+          Pattern::cycleOf(4), Pattern::diamond()}) {
+        const auto plan = compileAutomine(p, {});
+        // A crash re-attributes modeled time; it never loses work.
+        ASSERT_EQ(reference.run(plan), oracle(p)) << p.toString();
+        EXPECT_EQ(engine.run(plan), oracle(p)) << p.toString();
+    }
+
+    // Same plan, different thread count: bit-identical modeled dump
+    // (including the recovery block), ledger and trace tallies.
+    EXPECT_EQ(engine.stats().toJson(false),
+              reference.stats().toJson(false));
+    const NodeId nodes = config.cluster.numNodes;
+    for (NodeId src = 0; src < nodes; ++src)
+        for (NodeId dst = 0; dst < nodes; ++dst) {
+            EXPECT_EQ(engine.fabric().linkBytes(src, dst),
+                      reference.fabric().linkBytes(src, dst))
+                << src << "<-" << dst;
+            EXPECT_EQ(engine.fabric().linkMessages(src, dst),
+                      reference.fabric().linkMessages(src, dst))
+                << src << "<-" << dst;
+        }
+    for (std::size_t e = 0; e < sim::kNumPhaseEvents; ++e) {
+        const auto event = static_cast<sim::PhaseEvent>(e);
+        EXPECT_EQ(engine.traceCounts().count(event),
+                  reference.traceCounts().count(event))
+            << sim::phaseEventName(event);
+        EXPECT_EQ(engine.traceCounts().valueSum(event),
+                  reference.traceCounts().valueSum(event))
+            << sim::phaseEventName(event);
+    }
+
+    // Non-vacuous: the unit really died (in at least one pattern
+    // run; level-2 specs cannot fire on the 3-level triangle) and
+    // survivors really adopted, and the stats ledger agrees with
+    // the trace stream event for event.
+    const auto &stats = reference.stats();
+    EXPECT_GE(stats.totalUnitCrashes(), 1u);
+    EXPECT_LE(stats.totalUnitCrashes(), 4u);
+    EXPECT_GT(stats.totalChunksAdopted(), 0u);
+    EXPECT_GT(stats.totalCheckpoints(), 0u);
+    EXPECT_EQ(reference.traceCounts().count(
+                  sim::PhaseEvent::UnitCrashed),
+              stats.totalUnitCrashes());
+    EXPECT_EQ(reference.traceCounts().count(
+                  sim::PhaseEvent::ChunkAdopted),
+              stats.totalChunksAdopted());
+    EXPECT_EQ(reference.traceCounts().count(
+                  sim::PhaseEvent::Checkpoint),
+              stats.totalCheckpoints());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlansAndThreads, CrashSweep,
+    testing::Combine(
+        testing::Values("crash:1:level=1:chunk=1",
+                        "crash:5:level=0:chunk=1",
+                        "crash:3:level=2:chunk=1"),
+        testing::Bool(),
         testing::Values(1u, 2u, 4u, 8u)));
 
 /**

@@ -226,5 +226,142 @@ TEST(QueryService, PerQueryTunablesAreHonored)
               service.result(b).modeledJson);
 }
 
+// ----------------------------------------------------------------
+// Query-level resilience (DESIGN.md §9): deadlines, bounded retry,
+// cooperative cancellation.
+// ----------------------------------------------------------------
+
+TEST(QueryResilience, DeadlineSurfacesAsTypedFailure)
+{
+    core::GraphContext context(serviceGraph(), serviceSetup());
+    core::QueryService service(context);
+
+    core::SessionConfig doomed;
+    doomed.deadlineNs = 1.0; // below any real modeled run
+    const auto plan = compileAutomine(Pattern::triangle(), {});
+    const std::size_t id = service.submit(plan, doomed);
+    service.wait();
+
+    const core::QueryResult &query = service.result(id);
+    EXPECT_TRUE(query.failed);
+    EXPECT_NE(query.error.find("deadline"), std::string::npos)
+        << query.error;
+    EXPECT_EQ(query.retries, 0u);
+
+    // A failed query must not poison the service: the next healthy
+    // submission completes normally.
+    const std::size_t ok = service.submit(plan);
+    service.wait();
+    EXPECT_FALSE(service.result(ok).failed);
+    EXPECT_GT(service.result(ok).count, 0u);
+}
+
+TEST(QueryResilience, RetryBudgetIsSpentAndReported)
+{
+    core::GraphContext context(serviceGraph(), serviceSetup());
+    core::QueryService service(context);
+
+    // Deterministic failures fail every attempt identically, so a
+    // retry budget of 2 means exactly 3 attempts then a typed
+    // exhaustion error that preserves the last underlying message.
+    core::SessionConfig doomed;
+    doomed.deadlineNs = 1.0;
+    doomed.maxQueryRetries = 2;
+    const std::size_t id = service.submit(
+        compileAutomine(Pattern::triangle(), {}), doomed);
+    service.wait();
+
+    const core::QueryResult &query = service.result(id);
+    EXPECT_TRUE(query.failed);
+    EXPECT_EQ(query.retries, 2u);
+    EXPECT_NE(query.error.find(
+                  "retry budget exhausted after 3 attempts"),
+              std::string::npos)
+        << query.error;
+    EXPECT_NE(query.error.find("deadline"), std::string::npos)
+        << query.error;
+    // The surviving stats carry the full retry history: one
+    // QueryRetried charge per prior failed attempt.
+    EXPECT_EQ(query.stats.queryRetries, 2u);
+    EXPECT_EQ(query.traceCounts[static_cast<std::size_t>(
+                  sim::PhaseEvent::QueryRetried)],
+              2u);
+    EXPECT_NE(query.modeledJson.find("\"query_retries\": 2"),
+              std::string::npos);
+}
+
+TEST(QueryResilience, SuccessfulRunIsIdenticalWithRetryBudget)
+{
+    // An unused retry budget must not perturb the modeled result:
+    // the session only pays backoff for attempts that happened.
+    core::GraphContext plain_context(serviceGraph(), serviceSetup());
+    core::QueryService plain(plain_context);
+    core::SessionConfig session;
+    const auto plan = compileAutomine(Pattern::clique(4), {});
+    const std::size_t a = plain.submit(plan, session);
+    session.maxQueryRetries = 5;
+    const std::size_t b = plain.submit(plan, session);
+    plain.wait();
+
+    EXPECT_FALSE(plain.result(a).failed);
+    EXPECT_FALSE(plain.result(b).failed);
+    EXPECT_EQ(plain.result(a).modeledJson, plain.result(b).modeledJson);
+    EXPECT_EQ(plain.result(b).retries, 0u);
+    EXPECT_EQ(plain.result(b).stats.queryRetries, 0u);
+}
+
+TEST(QueryResilience, CancelledQueryFailsTypedAndIsNeverRetried)
+{
+    core::GraphContext context(serviceGraph(), serviceSetup());
+    core::ServiceOptions options;
+    options.maxInFlight = 1;
+    core::QueryService service(context, options);
+
+    // Cancel before the dispatcher can pick the query up: the run
+    // fails at its first chunk boundary.  A generous retry budget
+    // must NOT be spent on it — cancellation is a user decision.
+    core::SessionConfig session;
+    session.maxQueryRetries = 3;
+    const auto plan = compileAutomine(Pattern::clique(4), {});
+    std::vector<std::size_t> ids;
+    for (int i = 0; i < 4; ++i)
+        ids.push_back(service.submit(plan, session));
+    service.cancel(ids.back());
+    service.wait();
+
+    const core::QueryResult &cancelled = service.result(ids.back());
+    EXPECT_TRUE(cancelled.failed);
+    EXPECT_NE(cancelled.error.find("cancelled"), std::string::npos)
+        << cancelled.error;
+    EXPECT_EQ(cancelled.retries, 0u);
+    EXPECT_EQ(cancelled.stats.queryRetries, 0u);
+    // Queries ahead of it in the FIFO were untouched.
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i)
+        EXPECT_FALSE(service.result(ids[i]).failed);
+}
+
+TEST(QueryResilience, CrashPlanQueriesMatchSoloEngineBitForBit)
+{
+    // The §10 solo-vs-service contract extends to crash plans: a
+    // query whose session kills a unit and adopts its chunks is
+    // bit-identical through the service.
+    core::GraphContext context(serviceGraph(), serviceSetup());
+    core::SessionConfig session;
+    session.faults.add("crash:1:level=1:chunk=1");
+
+    core::QueryService service(context);
+    const auto plan = compileAutomine(Pattern::triangle(), {});
+    const std::size_t id = service.submit(plan, session);
+    service.wait();
+    const core::QueryResult &query = service.result(id);
+    ASSERT_FALSE(query.failed) << query.error;
+
+    core::Engine solo(context, session);
+    const Count solo_count = solo.run(plan);
+    EXPECT_EQ(query.count, solo_count);
+    EXPECT_EQ(query.modeledJson, solo.stats().toJson(false));
+    EXPECT_GT(query.stats.totalUnitCrashes(), 0u);
+}
+
 } // namespace
 } // namespace khuzdul

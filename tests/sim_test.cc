@@ -234,14 +234,20 @@ TEST(RunStats, ToJsonCarriesTotalsAndNodes)
                         "\"simd_gallop\": 2}"),
               std::string::npos);
     EXPECT_NE(json.find("\"nodes\": ["), std::string::npos);
-    // One object per node, plus the root, kernel_calls, faults and
-    // steals objects.
-    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 6);
-    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 6);
-    // The steals block is always present, even all-zero, so JSON
-    // consumers can rely on the key.
+    // One object per node, plus the root, kernel_calls, faults,
+    // steals and recovery objects.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 7);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 7);
+    // The steals and recovery blocks are always present, even
+    // all-zero, so JSON consumers can rely on the keys.
     EXPECT_NE(json.find("\"steals\": {\"stolen\": 0, \"donated\": 0, "
                         "\"bytes\": 0, \"overhead_ns\": 0}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"recovery\": {\"checkpoints\": 0, "
+                        "\"crashes\": 0, \"adopted\": 0, "
+                        "\"orphaned\": 0, \"adoption_bytes\": 0, "
+                        "\"checkpoint_ns\": 0, \"adoption_ns\": 0, "
+                        "\"query_retries\": 0}"),
               std::string::npos);
 
     // The kernel split is a host-side fact (it depends on CPU

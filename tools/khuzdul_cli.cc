@@ -35,6 +35,7 @@
 #include "graph/io.hh"
 #include "graph/orientation.hh"
 #include "pattern/planner.hh"
+#include "sim/faults.hh"
 #include "sim/trace.hh"
 #include "support/check.hh"
 #include "support/format.hh"
@@ -264,6 +265,11 @@ engineConfigFromArgs(const Args &args)
     config.stealEnabled = steal == "on";
     config.stealBacklogThresholdNs =
         args.getDouble("steal-threshold", 1.0e5);
+    // Crash recovery and query resilience (DESIGN.md §9).
+    config.checkpointEnabled = args.has("checkpoint");
+    config.deadlineNs = args.getDouble("deadline", 0.0);
+    config.maxQueryRetries =
+        static_cast<unsigned>(args.getU64("query-retries", 0));
     return config;
 }
 
@@ -519,9 +525,11 @@ cmdServe(const Args &args)
     Timer timer;
     service.wait();
 
+    std::size_t failures = 0;
     for (std::size_t id = 0; id < patterns.size(); ++id) {
         const core::QueryResult &query = service.result(id);
         if (query.failed) {
+            ++failures;
             std::printf("query %zu  %-28s FAILED: %s\n", id,
                         patterns[id].toString().c_str(),
                         query.error.c_str());
@@ -544,6 +552,11 @@ cmdServe(const Args &args)
                 formatBytes(context.sharedTotalBytes()).c_str());
     std::printf("host wall time:        %s\n",
                 formatTime(timer.elapsedNs()).c_str());
+    if (failures > 0) {
+        std::fprintf(stderr, "%zu of %zu queries failed\n", failures,
+                     patterns.size());
+        return 1;
+    }
     return 0;
 }
 
@@ -572,10 +585,23 @@ cmdHelp(const std::string &topic)
                   "\n"
                   "      down:node=D[:from=NS][:until=NS]  (no until "
                   "= permanent)\n"
+                  "      crash:UNIT:level=L[:chunk=K]  kill execution "
+                  "unit UNIT at its\n"
+                  "          K-th chunk of level L (default K = 1); "
+                  "survivors adopt\n"
+                  "          its chunks from the last checkpoint\n"
                   "      (SRC/DST node ids or *; counts are exact "
                   "under any plan)\n"
                   "  [--fault-retries N]  per-batch retry budget "
                   "(default 3)\n"
+                  "  [--checkpoint]  take level-barrier checkpoints "
+                  "even without a\n"
+                  "      crash plan (charged via CostModel::"
+                  "checkpointNs)\n"
+                  "  [--deadline NS]  fail the query with a typed "
+                  "DeadlineExceeded\n"
+                  "      error once its modeled time passes NS "
+                  "(0 = none)\n"
                   "  [--steal on|off]  deterministic inter-unit work "
                   "stealing\n"
                   "      (default off): idle units take backlogged "
@@ -587,7 +613,11 @@ cmdHelp(const std::string &topic)
                   "  [--steal-threshold NS]  min modeled backlog "
                   "before a unit\n"
                   "      donates (default 100000)\n"
-                  "  [--stats-json FILE] [--trace FILE]");
+                  "  [--stats-json FILE] [--trace FILE]\n"
+                  "exit codes: 0 ok, 1 bad invocation or failed "
+                  "query, 2 unrecoverable\n"
+                  "  modeled fault (fault-retry budget exhausted, "
+                  "crash with no survivors)");
     } else if (topic == "motifs") {
         std::puts("khuzdul motifs --graph <graph-spec> [--size K]\n"
                   "  [--system automine|graphpi]\n"
@@ -597,10 +627,15 @@ cmdHelp(const std::string &topic)
                   "  [--kernel auto|merge|gallop|bitmap|simd]\n"
                   "  [--threads N]  host threads (modeled results "
                   "identical for every N)\n"
-                  "  [--fault SPEC]...  deterministic fabric faults "
-                  "(grammar: help count)\n"
+                  "  [--fault SPEC]...  deterministic fabric faults, "
+                  "including\n"
+                  "      crash:UNIT:level=L[:chunk=K] (grammar: help "
+                  "count)\n"
                   "  [--fault-retries N] [--steal on|off] "
                   "[--steal-threshold NS]\n"
+                  "  [--checkpoint] [--deadline NS]  crash recovery "
+                  "and modeled\n"
+                  "      deadline (details: help count)\n"
                   "  [--stats-json FILE] [--trace FILE]\n"
                   "Counts every induced K-vertex motif (default "
                   "K = 3).");
@@ -616,10 +651,15 @@ cmdHelp(const std::string &topic)
                   "  [--kernel auto|merge|gallop|bitmap|simd]\n"
                   "  [--threads N]  host threads (modeled results "
                   "identical for every N)\n"
-                  "  [--fault SPEC]...  deterministic fabric faults "
-                  "(grammar: help count)\n"
+                  "  [--fault SPEC]...  deterministic fabric faults, "
+                  "including\n"
+                  "      crash:UNIT:level=L[:chunk=K] (grammar: help "
+                  "count)\n"
                   "  [--fault-retries N] [--steal on|off] "
                   "[--steal-threshold NS]\n"
+                  "  [--checkpoint] [--deadline NS]  crash recovery "
+                  "and modeled\n"
+                  "      deadline (details: help count)\n"
                   "  [--stats-json FILE] [--trace FILE]\n"
                   "Mines frequent subgraphs up to K edges under MNI "
                   "support.");
@@ -633,13 +673,23 @@ cmdHelp(const std::string &topic)
                   "FIFO)\n"
                   "  [--threads N]  workers of the shared unit pool "
                   "(0 = all)\n"
+                  "  [--query-retries N]  re-run a failed query up "
+                  "to N times with\n"
+                  "      modeled exponential backoff (default 0; "
+                  "cancellations are\n"
+                  "      never retried)\n"
+                  "  [--deadline NS]  per-query modeled deadline "
+                  "(typed\n"
+                  "      DeadlineExceeded error; 0 = none)\n"
                   "  plus the cluster options of `count` (--nodes, "
-                  "--sockets, ...)\n"
+                  "--sockets,\n"
+                  "  --fault, --checkpoint, ...)\n"
                   "Per-query modeled results are bit-identical to "
                   "running each\n"
                   "query alone; the footer shows concurrency and "
                   "cross-query\n"
-                  "shared-cache hits (host-side observability only).");
+                  "shared-cache hits (host-side observability only).\n"
+                  "Exits nonzero when any query failed.");
     } else {
         std::puts(
             "khuzdul — distributed graph pattern mining "
@@ -697,6 +747,14 @@ main(int argc, char **argv)
         std::fprintf(stderr, "unknown subcommand '%s'\n",
                      command.c_str());
         cmdHelp("");
+        return 1;
+    } catch (const sim::FabricFault &e) {
+        // An unrecoverable modeled fault (retry budget exhausted, a
+        // crash plan with no survivors, ...) is its own exit code so
+        // scripts can tell "the modeled cluster failed" (2) apart
+        // from "the invocation was wrong" (1).
+        std::fprintf(stderr, "unrecoverable modeled fault: %s\n",
+                     e.what());
         return 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

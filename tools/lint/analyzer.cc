@@ -48,7 +48,7 @@ ruleTable()
          "fault triggers, recovery decisions and steal planning read "
          "only modeled ledger state — no Timer/hostWallNs/elapsedNs "
          "or support/timer.hh in sim/faults.*, the provider/circulant "
-         "recovery paths, or core/steal/"},
+         "recovery paths, core/steal/, or core/recovery/"},
         {"simd-intrinsics", RuleScope::AllSources,
          "x86 intrinsics (immintrin.h/_mm*/__m256/...) only in "
          "src/core/kernels/ — the SIMD tier is the one place where "

@@ -47,8 +47,8 @@ enum class RuleScope
     HeadersOnly,   ///< every scanned .hh/.hpp/.h
     ModeledZones,  ///< src/core/, src/sim/, src/engines/
     /** The fault-injection / recovery / steal-planning TUs:
-     *  sim/faults.*, core/provider.*, core/circulant.* and
-     *  core/steal/ (DESIGN.md §9, §11). */
+     *  sim/faults.*, core/provider.*, core/circulant.*,
+     *  core/steal/ and core/recovery/ (DESIGN.md §9, §11). */
     RecoveryPaths,
 };
 

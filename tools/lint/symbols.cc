@@ -95,7 +95,8 @@ isRecoveryPath(const std::string &path)
     };
     return isFile("src/sim", "faults") || isFile("src/core", "provider")
         || isFile("src/core", "circulant")
-        || pathHasDir(path, "src/core/steal");
+        || pathHasDir(path, "src/core/steal")
+        || pathHasDir(path, "src/core/recovery");
 }
 
 bool
